@@ -1,0 +1,126 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation from the simulated protocols:
+//
+//	benchtab fig4       Figure 4 gas-cost table (+ n and f sweeps)
+//	benchtab fig7       Figure 7 delay table (+ n sweep)
+//	benchtab pow        §6.2 PoW fake-proof attack analysis
+//	benchtab ablation   §6.2 proof-format ablation
+//	benchtab swap       §8 HTLC baseline comparison
+//	benchtab report     one self-contained markdown report of everything
+//	benchtab all        all individual tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xdeal/internal/harness"
+	"xdeal/internal/party"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	n := flag.Int("n", 6, "parties")
+	m := flag.Int("m", 4, "escrow contracts (fig4)")
+	f := flag.Int("f", 2, "CBC fault tolerance")
+	trials := flag.Int("trials", 4000, "Monte Carlo trials (pow)")
+	flag.Parse()
+
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	out := os.Stdout
+
+	run := func(name string, fn func() error) {
+		if cmd != "all" && cmd != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	}
+
+	run("fig4", func() error {
+		if err := harness.Fig4(out, *n, *m, *f, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ns := []int{3, 4, 6, 8, 10}
+		tl, cb, err := harness.SweepCommitGasByN(ns, *f, *seed)
+		if err != nil {
+			return err
+		}
+		harness.FprintSweep(out, "\ncommit gas vs n — timelock (ring deals, m=n):", "n", ns, tl)
+		harness.FprintSweep(out, "\ncommit gas vs n — CBC:", "n", ns, cb)
+		fs := []int{1, 2, 4, 7, 10}
+		rows, err := harness.SweepCommitGasByF(*n, fs, *seed)
+		if err != nil {
+			return err
+		}
+		harness.FprintSweep(out, "\ncommit gas vs f — CBC (ring, n fixed):", "f", fs, rows)
+		return nil
+	})
+
+	run("fig7", func() error {
+		if err := harness.Fig7(out, *n, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "\ncommit duration vs n (forwarded timelock voting, Δ units):")
+		for _, nn := range []int{3, 5, 7, 9} {
+			rows, err := harness.Fig7Rows(nn, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  n=%d: forwarded=%.2fΔ altruistic=%.2fΔ cbc=%.2fΔ\n",
+				nn, rows[0].Commit, rows[1].Commit, rows[2].Commit)
+		}
+		fmt.Fprintln(out)
+		depth, err := harness.SweepTransferDepth([]int{3, 5, 7}, *seed)
+		if err != nil {
+			return err
+		}
+		harness.FprintTransferDepth(out, depth)
+		fmt.Fprintln(out)
+		var aborts []harness.AbortTimeRow
+		for _, nn := range []int{3, 5, 7} {
+			tl, err := harness.RunAbortTime(nn, party.ProtoTimelock, 0, *seed)
+			if err != nil {
+				return err
+			}
+			cb, err := harness.RunAbortTime(nn, party.ProtoCBC, 4000, *seed)
+			if err != nil {
+				return err
+			}
+			aborts = append(aborts, tl, cb)
+		}
+		harness.FprintAbortTimes(out, aborts)
+		return nil
+	})
+
+	run("pow", func() error {
+		harness.PoWAttack(out,
+			[]float64{0.05, 0.10, 0.20, 0.30, 0.40, 0.45},
+			[]int{0, 1, 2, 4, 8, 16},
+			*trials, *seed)
+		return nil
+	})
+
+	run("ablation", func() error {
+		return harness.Ablation(out, []int{1, 2, 4, 7}, *seed)
+	})
+
+	run("swap", func() error {
+		return harness.SwapVsDeal(out, []int{2, 3, 4, 6, 8}, *seed)
+	})
+
+	if cmd == "report" {
+		if err := harness.WriteReport(out, *seed, *trials); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

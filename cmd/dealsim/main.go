@@ -1,0 +1,164 @@
+// Command dealsim runs one cross-chain deal end to end on the simulated
+// multi-chain substrate and prints the settlement report.
+//
+//	dealsim -deal broker -protocol timelock
+//	dealsim -deal ring -n 5 -protocol cbc -f 2
+//	dealsim -deal broker -protocol timelock -deviant bob=skip-voting
+//	dealsim -deal broker -protocol cbc -censor carol
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xdeal/internal/chain"
+	"xdeal/internal/deal"
+	"xdeal/internal/engine"
+	"xdeal/internal/party"
+	"xdeal/internal/sim"
+	"xdeal/internal/trace"
+)
+
+// behaviorByName maps CLI deviation names to Behavior values.
+func behaviorByName(name string, spec *deal.Spec) (party.Behavior, error) {
+	switch name {
+	case "skip-escrow":
+		return party.Behavior{SkipEscrow: true}, nil
+	case "skip-transfers":
+		return party.Behavior{SkipTransfers: true}, nil
+	case "skip-voting":
+		return party.Behavior{SkipVoting: true}, nil
+	case "no-forwarding":
+		return party.Behavior{NoForwarding: true}, nil
+	case "crash-early":
+		return party.Behavior{CrashAt: 100}, nil
+	case "crash-late":
+		return party.Behavior{CrashAt: spec.T0 + spec.Delta}, nil
+	case "vote-late":
+		return party.Behavior{VoteDelay: sim.Duration(spec.T0) + 10*spec.Delta}, nil
+	case "offline-at-commit":
+		return party.Behavior{OfflineFrom: spec.T0 - 10, OfflineUntil: spec.T0 + 6*spec.Delta}, nil
+	case "abort-immediately":
+		return party.Behavior{AbortImmediately: true}, nil
+	case "commit-then-abort":
+		return party.Behavior{CommitThenAbort: 1}, nil
+	default:
+		return party.Behavior{}, fmt.Errorf("unknown deviation %q", name)
+	}
+}
+
+func main() {
+	dealName := flag.String("deal", "broker", "deal: broker | ring | swap | auction | dense")
+	specPath := flag.String("spec", "", "path to a JSON deal spec (overrides -deal)")
+	protocol := flag.String("protocol", "timelock", "protocol: timelock | cbc")
+	n := flag.Int("n", 4, "parties (ring/dense)")
+	m := flag.Int("m", 3, "escrow contracts (dense)")
+	f := flag.Int("f", 1, "CBC fault tolerance")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	deviants := flag.String("deviant", "", "comma-separated party=deviation pairs")
+	censor := flag.String("censor", "", "comma-separated parties censored by CBC validators")
+	showMatrix := flag.Bool("matrix", true, "print the deal matrix (Figure 1 style)")
+	showTrace := flag.Bool("trace", false, "print the chronological protocol trace")
+	flag.Parse()
+
+	var spec *deal.Spec
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dealsim: %v\n", err)
+			os.Exit(1)
+		}
+		spec, err = deal.ReadSpec(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dealsim: %v\n", err)
+			os.Exit(1)
+		}
+		*dealName = "(from file)"
+	}
+	switch *dealName {
+	case "(from file)":
+		// spec loaded above
+	case "broker":
+		spec = deal.BrokerSpec(2000, 1000)
+	case "ring":
+		spec = deal.RingSpec(*n, sim.Time(3000+500**n), 1000)
+	case "swap":
+		spec = deal.SwapSpec(2000, 1000)
+	case "auction":
+		spec = deal.AuctionSpec(2000, 1000, 120, 80)
+	case "dense":
+		spec = deal.DenseSpec(*n, *m, sim.Time(3000+500**n), 1000)
+	default:
+		fmt.Fprintf(os.Stderr, "dealsim: unknown deal %q\n", *dealName)
+		os.Exit(2)
+	}
+
+	opts := engine.Options{Seed: *seed, F: *f}
+	switch *protocol {
+	case "timelock":
+		opts.Protocol = party.ProtoTimelock
+	case "cbc":
+		opts.Protocol = party.ProtoCBC
+	default:
+		fmt.Fprintf(os.Stderr, "dealsim: unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+
+	if *deviants != "" {
+		opts.Behaviors = make(map[chain.Addr]party.Behavior)
+		for _, pair := range strings.Split(*deviants, ",") {
+			kv := strings.SplitN(pair, "=", 2)
+			if len(kv) != 2 {
+				fmt.Fprintf(os.Stderr, "dealsim: bad -deviant entry %q\n", pair)
+				os.Exit(2)
+			}
+			b, err := behaviorByName(kv[1], spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dealsim: %v\n", err)
+				os.Exit(2)
+			}
+			opts.Behaviors[chain.Addr(kv[0])] = b
+		}
+	}
+	if *censor != "" {
+		opts.Censor = make(map[chain.Addr]bool)
+		for _, p := range strings.Split(*censor, ",") {
+			opts.Censor[chain.Addr(p)] = true
+		}
+	}
+
+	if *showMatrix {
+		fmt.Printf("deal %s (%d parties, %d escrow contracts, %d transfers)\n\n",
+			spec.ID, len(spec.Parties), len(spec.Escrows()), len(spec.Transfers))
+		fmt.Println(spec.Matrix())
+	}
+
+	var tr *trace.Log
+	if *showTrace {
+		tr = trace.New()
+		opts.Trace = tr
+	}
+	w, err := engine.Build(spec, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dealsim: %v\n", err)
+		os.Exit(1)
+	}
+	r := w.Run()
+	if tr != nil {
+		fmt.Println("--- trace ---")
+		tr.Fprint(os.Stdout)
+		fmt.Println()
+	}
+	fmt.Print(r.Summary())
+	fmt.Printf("\nphases (Δ=%d): escrow end t=%d, transfers end t=%d, validation end t=%d, decision t=%d\n",
+		spec.Delta, r.Phases.EscrowEnd, r.Phases.TransferEnd, r.Phases.ValidationEnd, r.Phases.DecisionEnd)
+	fmt.Printf("gas: total=%d  escrow=%d  transfer=%d  commit=%d  abort=%d\n",
+		r.Gas.Used(), r.Gas.UsedByLabel(party.LabelEscrow), r.Gas.UsedByLabel(party.LabelTransfer),
+		r.Gas.UsedByLabel(party.LabelCommit), r.Gas.UsedByLabel(party.LabelAbort))
+	if len(r.SafetyViolations)+len(r.LivenessViolations) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,146 @@
+package cbc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xdeal/internal/chain"
+	"xdeal/internal/escrow"
+	"xdeal/internal/gas"
+	"xdeal/internal/sim"
+)
+
+// freshCBC builds a CBC with a started deal for property tests.
+func freshCBC(seed uint64) (*CBC, *sim.Scheduler, [32]byte) {
+	sched := sim.NewScheduler()
+	c := New(Config{
+		Tag: "q", F: 1, BlockInterval: 10,
+		Delays:   chain.SyncPolicy{Min: 1, Max: 3},
+		Schedule: gas.DefaultSchedule(),
+	}, sched, sim.NewRNG(seed))
+	c.Publish(Entry{Kind: EntryStartDeal, Deal: "D", Party: parties[0], Parties: parties})
+	sched.Run()
+	h, _ := c.StartHash("D")
+	return c, sched, h
+}
+
+// TestQuickDecisiveVoteRule: for any vote sequence, the CBC's decision
+// obeys the rule — commit iff every party's commit vote was recorded
+// before any abort vote; once decided the decision never changes.
+func TestQuickDecisiveVoteRule(t *testing.T) {
+	prop := func(ops []struct {
+		Party uint8
+		Abort bool
+	}) bool {
+		c, sched, h := freshCBC(99)
+		// Mirror the rule independently: replay the ops in submission
+		// order. Publishing drains between ops so CBC ordering equals
+		// submission ordering.
+		committed := make(map[chain.Addr]bool)
+		want := escrow.StatusActive
+		for _, op := range ops {
+			p := parties[int(op.Party)%len(parties)]
+			kind := EntryCommit
+			if op.Abort {
+				kind = EntryAbort
+			}
+			c.Publish(Entry{Kind: kind, Deal: "D", Party: p, Hash: h})
+			sched.Run()
+			if want == escrow.StatusActive {
+				if op.Abort {
+					want = escrow.StatusAborted
+				} else {
+					committed[p] = true
+					if len(committed) == len(parties) {
+						want = escrow.StatusCommitted
+					}
+				}
+			}
+			// Invariant: once decided, the status never flips.
+			if got := c.Deal("D").Status; want != escrow.StatusActive && got != want {
+				return false
+			}
+		}
+		return c.Deal("D").Status == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickProofsAgreeWithDecision: whenever the deal decides, both proof
+// formats exist and certify exactly the decided status.
+func TestQuickProofsAgreeWithDecision(t *testing.T) {
+	prop := func(seed uint64, abortAt uint8) bool {
+		c, sched, h := freshCBC(seed)
+		for i, p := range parties {
+			kind := EntryCommit
+			if int(abortAt) < len(parties) && i == int(abortAt) {
+				kind = EntryAbort
+			}
+			c.Publish(Entry{Kind: kind, Deal: "D", Party: p, Hash: h})
+			sched.Run()
+		}
+		st := c.Deal("D")
+		if st.Status == escrow.StatusActive {
+			return false // three votes always decide
+		}
+		sp, err := c.StatusProofFor("D")
+		if err != nil || sp.Status != st.Status {
+			return false
+		}
+		bp, err := c.BlockProofFor("D")
+		if err != nil || len(bp.Blocks) == 0 {
+			return false
+		}
+		// The block proof must replay to the same outcome.
+		env := testEnvFor(c)
+		got, _, err := VerifyBlockProof(env, "D", Info{StartHash: h, Committee: c.InitialCommittee()}, bp, parties)
+		return err == nil && got == st.Status
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testEnvFor builds a throwaway Env for direct proof verification.
+func testEnvFor(c *CBC) *chain.Env {
+	sched := sim.NewScheduler()
+	host := chain.New(chain.Config{ID: "x", Schedule: gas.DefaultSchedule()}, sched, sim.NewRNG(1))
+	return host.TestEnv("verifier")
+}
+
+func TestDecidedAtRecordsDecisionHeight(t *testing.T) {
+	c, sched, h := freshCBC(7)
+	c.Publish(Entry{Kind: EntryCommit, Deal: "D", Party: "alice", Hash: h})
+	sched.Run()
+	c.Publish(Entry{Kind: EntryAbort, Deal: "D", Party: "bob", Hash: h})
+	sched.Run()
+	st := c.Deal("D")
+	if st.Status != escrow.StatusAborted {
+		t.Fatal("not aborted")
+	}
+	if st.DecidedAt == 0 || st.DecidedAt > c.Height() {
+		t.Fatalf("DecidedAt = %d with height %d", st.DecidedAt, c.Height())
+	}
+	// The block proof ends at the decisive block.
+	bp, err := c.BlockProofFor("D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := bp.Blocks[len(bp.Blocks)-1]; last.Height != st.DecidedAt {
+		t.Fatalf("proof ends at %d, decision at %d", last.Height, st.DecidedAt)
+	}
+}
+
+func TestSortedParties(t *testing.T) {
+	st := &DealState{Parties: []chain.Addr{"zed", "amy", "mid"}}
+	got := st.SortedParties()
+	if got[0] != "amy" || got[1] != "mid" || got[2] != "zed" {
+		t.Fatalf("SortedParties = %v", got)
+	}
+	// Original untouched.
+	if st.Parties[0] != "zed" {
+		t.Fatal("SortedParties mutated the state")
+	}
+}

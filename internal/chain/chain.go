@@ -1,0 +1,512 @@
+// Package chain implements a deterministic blockchain simulator: a
+// publicly-readable, tamper-evident ledger that tracks asset ownership and
+// executes contracts (§3 of the paper).
+//
+// The simulator provides exactly the interface the paper assumes of a
+// blockchain and nothing more:
+//
+//   - parties publish entries (transactions) that execute contract code;
+//   - contract code is deterministic, passive, and metered for gas;
+//   - parties monitor chains and observe state changes with bounded delay
+//     (the Δ of the synchronous model) or unbounded delay before the
+//     global stabilization time (the eventually-synchronous model);
+//   - contracts cannot observe other chains: cross-chain information flows
+//     only through parties that carry proofs.
+//
+// Blocks are produced lazily at fixed boundaries (height × block interval)
+// whenever transactions are pending, which keeps the discrete-event queue
+// finite while preserving blockchain-style timestamp granularity.
+package chain
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+
+	"xdeal/internal/gas"
+	"xdeal/internal/sig"
+	"xdeal/internal/sim"
+)
+
+// ID identifies a chain.
+type ID string
+
+// Addr is the address of a party or contract. Parties and contracts share
+// one namespace, as on Ethereum.
+type Addr string
+
+// Tx is a transaction: a call to a contract method published by a party.
+type Tx struct {
+	Sender   Addr
+	Contract Addr
+	Method   string
+	Args     any
+	// Label tags the transaction for gas accounting (the harness uses
+	// deal-phase labels to reproduce Figure 4's per-phase rows).
+	Label string
+	// OnReceipt, when non-nil, is invoked after the transaction executes,
+	// delayed by the chain's notification latency — the sender observing
+	// its own transaction's fate is an observation like any other.
+	OnReceipt func(*Receipt)
+
+	seq uint64 // arrival order for deterministic inclusion
+}
+
+// Receipt reports the outcome of an executed transaction.
+type Receipt struct {
+	Tx     *Tx
+	Height uint64
+	Time   sim.Time // execution (block) time
+	Result any
+	Err    error
+}
+
+// Event is a log entry emitted by a contract, delivered to subscribers
+// after the chain's notification delay.
+type Event struct {
+	Chain    ID
+	Height   uint64
+	Time     sim.Time // block time at emission
+	Contract Addr
+	Kind     string
+	Data     any
+	Sender   Addr // transaction origin
+}
+
+// Contract is a blockchain-resident program. Implementations must be
+// deterministic and interact with the world only through the Env.
+type Contract interface {
+	Invoke(env *Env, method string, args any) (any, error)
+}
+
+// DelayPolicy models network latency between parties and the chain.
+type DelayPolicy interface {
+	// SubmitDelay is the latency from publishing a transaction to its
+	// arrival in the mempool.
+	SubmitDelay(now sim.Time, rng *sim.RNG) sim.Duration
+	// NotifyDelay is the latency from a block being produced to an
+	// observer seeing it.
+	NotifyDelay(now sim.Time, rng *sim.RNG) sim.Duration
+}
+
+// SyncPolicy is the synchronous model: delays are uniform in [Min, Max],
+// and Max must be chosen so that submit + block interval + notify ≤ Δ.
+type SyncPolicy struct {
+	Min, Max sim.Duration
+}
+
+// SubmitDelay implements DelayPolicy.
+func (p SyncPolicy) SubmitDelay(_ sim.Time, rng *sim.RNG) sim.Duration {
+	return rng.Duration(p.Min, p.Max)
+}
+
+// NotifyDelay implements DelayPolicy.
+func (p SyncPolicy) NotifyDelay(_ sim.Time, rng *sim.RNG) sim.Duration {
+	return rng.Duration(p.Min, p.Max)
+}
+
+// GSTPolicy is the eventually-synchronous model of §6: before the global
+// stabilization time delays are drawn from [Min, PreMax] (unbounded in
+// principle, adversarially large in practice); after GST they are bounded
+// by PostMax.
+type GSTPolicy struct {
+	GST     sim.Time
+	Min     sim.Duration
+	PreMax  sim.Duration
+	PostMax sim.Duration
+}
+
+// SubmitDelay implements DelayPolicy.
+func (p GSTPolicy) SubmitDelay(now sim.Time, rng *sim.RNG) sim.Duration {
+	return p.delay(now, rng)
+}
+
+// NotifyDelay implements DelayPolicy.
+func (p GSTPolicy) NotifyDelay(now sim.Time, rng *sim.RNG) sim.Duration {
+	return p.delay(now, rng)
+}
+
+func (p GSTPolicy) delay(now sim.Time, rng *sim.RNG) sim.Duration {
+	if now < p.GST {
+		return rng.Duration(p.Min, p.PreMax)
+	}
+	return rng.Duration(p.Min, p.PostMax)
+}
+
+// Config parameterizes a chain.
+type Config struct {
+	ID            ID
+	BlockInterval sim.Duration
+	Delays        DelayPolicy
+	Schedule      gas.Schedule
+	// Keys is the public keyring: every party's public key is known to
+	// all (§3), including to contracts, which need them to verify votes.
+	Keys map[string]ed25519.PublicKey
+	// OutageFrom/OutageUntil model a denial-of-service window during
+	// which the chain produces no blocks (§5.3, §9): transactions queue
+	// in the mempool and execute once the outage lifts. Zero means no
+	// outage.
+	OutageFrom  sim.Time
+	OutageUntil sim.Time
+}
+
+// Chain is a simulated blockchain.
+type Chain struct {
+	cfg       Config
+	sched     *sim.Scheduler
+	rng       *sim.RNG
+	meter     *gas.Meter
+	height    uint64
+	lastHash  [32]byte
+	mempool   []*Tx
+	txSeq     uint64
+	contracts map[Addr]Contract
+	subs      map[int]func(Event)
+	nextSub   int
+	blockSet  bool // a block production event is scheduled
+	receipts  []*Receipt
+}
+
+// New creates a chain attached to the scheduler. The RNG is forked from
+// the provided source so each chain has an independent stream.
+func New(cfg Config, sched *sim.Scheduler, rng *sim.RNG) *Chain {
+	if cfg.BlockInterval <= 0 {
+		cfg.BlockInterval = 10
+	}
+	if cfg.Delays == nil {
+		cfg.Delays = SyncPolicy{Min: 1, Max: 5}
+	}
+	if cfg.Keys == nil {
+		cfg.Keys = make(map[string]ed25519.PublicKey)
+	}
+	return &Chain{
+		cfg:       cfg,
+		sched:     sched,
+		rng:       rng.Fork(),
+		meter:     gas.NewMeter(cfg.Schedule),
+		contracts: make(map[Addr]Contract),
+		subs:      make(map[int]func(Event)),
+	}
+}
+
+// ID returns the chain identifier.
+func (c *Chain) ID() ID { return c.cfg.ID }
+
+// Height returns the number of blocks produced.
+func (c *Chain) Height() uint64 { return c.height }
+
+// Meter exposes the chain's gas meter.
+func (c *Chain) Meter() *gas.Meter { return c.meter }
+
+// Scheduler returns the simulation scheduler the chain runs on.
+func (c *Chain) Scheduler() *sim.Scheduler { return c.sched }
+
+// Keys returns the public keyring known to contracts on this chain.
+func (c *Chain) Keys() map[string]ed25519.PublicKey { return c.cfg.Keys }
+
+// Receipts returns all transaction receipts in execution order.
+func (c *Chain) Receipts() []*Receipt { return c.receipts }
+
+// Deploy installs a contract at addr. Deploying over an existing address
+// is an error (contract code is immutable once published).
+func (c *Chain) Deploy(addr Addr, ct Contract) error {
+	if _, exists := c.contracts[addr]; exists {
+		return fmt.Errorf("chain %s: address %s already deployed", c.cfg.ID, addr)
+	}
+	c.contracts[addr] = ct
+	return nil
+}
+
+// MustDeploy is Deploy that panics on error, for test and example setup.
+func (c *Chain) MustDeploy(addr Addr, ct Contract) {
+	if err := c.Deploy(addr, ct); err != nil {
+		panic(err)
+	}
+}
+
+// Contract returns the contract at addr, or nil.
+func (c *Chain) Contract(addr Addr) Contract { return c.contracts[addr] }
+
+// Subscribe registers an observer for this chain's events. The returned
+// function unsubscribes. Events arrive after the chain's notify delay.
+func (c *Chain) Subscribe(fn func(Event)) func() {
+	id := c.nextSub
+	c.nextSub++
+	c.subs[id] = fn
+	return func() { delete(c.subs, id) }
+}
+
+// Submit publishes a transaction. It reaches the mempool after the submit
+// delay and executes in the next block at or after its arrival.
+func (c *Chain) Submit(tx *Tx) {
+	tx.seq = c.txSeq
+	c.txSeq++
+	d := c.cfg.Delays.SubmitDelay(c.sched.Now(), c.rng)
+	c.sched.After(d, func() {
+		c.mempool = append(c.mempool, tx)
+		c.scheduleBlock()
+	})
+}
+
+// SubmitAfter publishes a transaction after an additional sender-side
+// delay (used by parties that deliberately wait, e.g. voting at the last
+// allowed moment).
+func (c *Chain) SubmitAfter(d sim.Duration, tx *Tx) {
+	c.sched.After(d, func() { c.Submit(tx) })
+}
+
+// scheduleBlock arranges block production at the next block boundary if
+// not already scheduled, deferring past any outage window.
+func (c *Chain) scheduleBlock() {
+	if c.blockSet || len(c.mempool) == 0 {
+		return
+	}
+	c.blockSet = true
+	now := c.sched.Now()
+	next := (now/c.cfg.BlockInterval + 1) * c.cfg.BlockInterval
+	if c.cfg.OutageUntil > 0 && next >= c.cfg.OutageFrom && next < c.cfg.OutageUntil {
+		next = (c.cfg.OutageUntil/c.cfg.BlockInterval + 1) * c.cfg.BlockInterval
+	}
+	c.sched.At(next, c.produceBlock)
+}
+
+// produceBlock executes all pending transactions in arrival order,
+// appends a block, and notifies subscribers.
+func (c *Chain) produceBlock() {
+	c.blockSet = false
+	txs := c.mempool
+	c.mempool = nil
+	if len(txs) == 0 {
+		return
+	}
+	c.height++
+	now := c.sched.Now()
+	var digest []byte
+	var blockEvents []Event
+	for _, tx := range txs {
+		rcpt := c.execute(tx, now)
+		c.receipts = append(c.receipts, rcpt.Receipt)
+		digest = append(digest, []byte(tx.Contract+"/"+Addr(tx.Method))...)
+		if rcpt.pending != nil {
+			blockEvents = append(blockEvents, rcpt.pending...)
+		}
+		if tx.OnReceipt != nil {
+			r := rcpt.Receipt
+			d := c.cfg.Delays.NotifyDelay(now, c.rng)
+			c.sched.After(d, func() { tx.OnReceipt(r) })
+		}
+	}
+	c.lastHash = sig.Hash(c.lastHash[:], digest)
+	for _, ev := range blockEvents {
+		c.dispatch(ev)
+	}
+	c.scheduleBlock() // txs may have arrived while producing
+}
+
+// execReceipt pairs a receipt with the events its transaction emitted,
+// which are only published if the transaction succeeded.
+type execReceipt struct {
+	*Receipt
+	pending []Event
+}
+
+// execute runs one transaction against its target contract.
+func (c *Chain) execute(tx *Tx, now sim.Time) *execReceipt {
+	r := &execReceipt{Receipt: &Receipt{Tx: tx, Height: c.height, Time: now}}
+	ct, ok := c.contracts[tx.Contract]
+	if !ok {
+		r.Err = fmt.Errorf("chain %s: no contract at %s", c.cfg.ID, tx.Contract)
+		return r
+	}
+	c.meter.Charge(tx.Label, gas.OpTxBase, 1)
+	env := &Env{
+		chain:  c,
+		meter:  c.meter,
+		label:  tx.Label,
+		origin: tx.Sender,
+		sender: tx.Sender,
+		self:   tx.Contract,
+		now:    now,
+		height: c.height,
+	}
+	res, err := ct.Invoke(env, tx.Method, tx.Args)
+	r.Result = res
+	r.Err = err
+	if err == nil {
+		r.pending = env.events
+	}
+	return r
+}
+
+// dispatch fans an event out to all subscribers with independent delays.
+func (c *Chain) dispatch(ev Event) {
+	for id := 0; id < c.nextSub; id++ {
+		fn, ok := c.subs[id]
+		if !ok {
+			continue
+		}
+		d := c.cfg.Delays.NotifyDelay(c.sched.Now(), c.rng)
+		c.sched.After(d, func() { fn(ev) })
+	}
+}
+
+// Env is the execution environment visible to contract code. All side
+// effects — storage charges, signature verification, events, cross-contract
+// calls — go through it so gas accounting matches §7.1.
+type Env struct {
+	chain  *Chain
+	meter  *gas.Meter
+	label  string
+	origin Addr // transaction sender
+	sender Addr // immediate caller (party, or calling contract)
+	self   Addr // executing contract
+	now    sim.Time
+	height uint64
+	events []Event
+}
+
+// Errors shared by contracts.
+var (
+	ErrUnknownMethod   = errors.New("chain: unknown contract method")
+	ErrBadArgs         = errors.New("chain: wrong argument type for method")
+	ErrUnknownContract = errors.New("chain: no contract at address")
+)
+
+// Now returns the current block timestamp.
+func (e *Env) Now() sim.Time { return e.now }
+
+// Height returns the current block height.
+func (e *Env) Height() uint64 { return e.height }
+
+// Sender returns the immediate caller (msg.sender).
+func (e *Env) Sender() Addr { return e.sender }
+
+// Origin returns the original transaction sender (tx.origin).
+func (e *Env) Origin() Addr { return e.origin }
+
+// Self returns the executing contract's address.
+func (e *Env) Self() Addr { return e.self }
+
+// ChainID returns the hosting chain's identifier.
+func (e *Env) ChainID() ID { return e.chain.cfg.ID }
+
+// Write charges for n writes to long-lived storage.
+func (e *Env) Write(n int) { e.meter.Charge(e.label, gas.OpWrite, uint64(n)) }
+
+// Read charges for n reads from long-lived storage.
+func (e *Env) Read(n int) { e.meter.Charge(e.label, gas.OpRead, uint64(n)) }
+
+// Arith charges for n units of arithmetic / transient memory.
+func (e *Env) Arith(n int) { e.meter.Charge(e.label, gas.OpArith, uint64(n)) }
+
+// VerifySig verifies one signature, charging gas for it.
+func (e *Env) VerifySig(pub ed25519.PublicKey, msg, s []byte) bool {
+	e.meter.Charge(e.label, gas.OpSigVerify, 1)
+	return sig.Verify(pub, msg, s)
+}
+
+// VerifyPath verifies a path signature against the chain's keyring,
+// charging gas per signature verification performed.
+func (e *Env) VerifyPath(p sig.PathSig) error {
+	var n int
+	err := p.Verify(e.chain.cfg.Keys, &n)
+	e.meter.Charge(e.label, gas.OpSigVerify, uint64(n))
+	return err
+}
+
+// Key returns the registered public key for a party, if any.
+func (e *Env) Key(party string) (ed25519.PublicKey, bool) {
+	k, ok := e.chain.cfg.Keys[party]
+	return k, ok
+}
+
+// Emit buffers an event; it is published only if the transaction succeeds.
+func (e *Env) Emit(kind string, data any) {
+	e.meter.Charge(e.label, gas.OpEvent, 1)
+	e.events = append(e.events, Event{
+		Chain:    e.chain.cfg.ID,
+		Height:   e.height,
+		Time:     e.now,
+		Contract: e.self,
+		Kind:     kind,
+		Data:     data,
+		Sender:   e.origin,
+	})
+}
+
+// Call invokes a method on another contract on the same chain. The callee
+// sees this contract as the sender, as with Ethereum message calls.
+// Events emitted by the callee are published with the caller's transaction.
+func (e *Env) Call(target Addr, method string, args any) (any, error) {
+	ct, ok := e.chain.contracts[target]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownContract, target)
+	}
+	sub := &Env{
+		chain:  e.chain,
+		meter:  e.meter,
+		label:  e.label,
+		origin: e.origin,
+		sender: e.self,
+		self:   target,
+		now:    e.now,
+		height: e.height,
+	}
+	res, err := ct.Invoke(sub, method, args)
+	if err == nil {
+		e.events = append(e.events, sub.events...)
+	}
+	return res, err
+}
+
+// ReadEnv returns an Env suitable for gas-free public reads of contract
+// state ("blockchains are publicly readable", §3). Charges made through it
+// go to a discarded meter, so reads cost nothing — matching §7.1, where
+// party-side validation "incurs no gas cost".
+func (c *Chain) ReadEnv() *Env {
+	return &Env{
+		chain:  c,
+		meter:  gas.NewMeter(c.cfg.Schedule),
+		label:  "read",
+		now:    c.sched.Now(),
+		height: c.height,
+	}
+}
+
+// Query performs a gas-free read-only call on a contract. The contract's
+// read methods must not mutate state.
+func (c *Chain) Query(target Addr, method string, args any) (any, error) {
+	ct, ok := c.contracts[target]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownContract, target)
+	}
+	env := c.ReadEnv()
+	env.self = target
+	return ct.Invoke(env, method, args)
+}
+
+// TestEnv returns an Env executing as the contract deployed at self,
+// charging the chain's real meter under the "test" label. It exists so
+// tests and protocol drivers can exercise contract internals directly;
+// transaction execution remains the normal entry point.
+func (c *Chain) TestEnv(self Addr) *Env {
+	return &Env{
+		chain:  c,
+		meter:  c.meter,
+		label:  "test",
+		origin: self,
+		sender: self,
+		self:   self,
+		now:    c.sched.Now(),
+		height: c.height,
+	}
+}
+
+// MeterSigVerifications charges gas for n signature verifications that
+// were performed outside the Env helpers (e.g. BFT certificate checks
+// done by library code on the contract's behalf).
+func (e *Env) MeterSigVerifications(n int) {
+	if n > 0 {
+		e.meter.Charge(e.label, gas.OpSigVerify, uint64(n))
+	}
+}

@@ -1,0 +1,75 @@
+package deal
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := BrokerSpec(2000, 1000)
+	data, err := MarshalJSONSpec(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalJSONSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("round trip mismatch:\norig %+v\nback %+v", orig, back)
+	}
+}
+
+func TestJSONRejectsInvalidSpec(t *testing.T) {
+	if _, err := UnmarshalJSONSpec([]byte(`{"ID":"x"}`)); err == nil {
+		t.Fatal("spec without parties accepted")
+	}
+	if _, err := UnmarshalJSONSpec([]byte(`{garbage`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestReadWriteSpec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, RingSpec(4, 3000, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != "ring-4" || len(s.Parties) != 4 {
+		t.Fatalf("read spec = %+v", s)
+	}
+}
+
+func TestJSONHumanAuthorable(t *testing.T) {
+	// The format people would actually write by hand.
+	src := `{
+	  "ID": "my-deal",
+	  "Parties": ["alice", "bob"],
+	  "Transfers": [
+	    {"From": "alice", "To": "bob",
+	     "Asset": {"Chain": "c1", "Token": "gold", "Escrow": "gold-escrow", "Kind": 0, "Amount": 5}},
+	    {"From": "bob", "To": "alice",
+	     "Asset": {"Chain": "c2", "Token": "art", "Escrow": "art-escrow", "Kind": 1, "ID": "nft-1"}}
+	  ],
+	  "T0": 2000,
+	  "Delta": 1000
+	}`
+	s, err := UnmarshalJSONSpec([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.WellFormed() {
+		t.Fatal("hand-written spec not well-formed")
+	}
+	if s.Transfers[1].Asset.Kind != NonFungible {
+		t.Fatal("kind decoding broken")
+	}
+	if !strings.Contains(s.Matrix(), "gold") {
+		t.Fatal("matrix rendering broken for decoded spec")
+	}
+}

@@ -1,0 +1,104 @@
+package deal
+
+import (
+	"testing"
+
+	"xdeal/internal/chain"
+)
+
+func TestBrokerEscrowObligations(t *testing.T) {
+	s := brokerSpec()
+
+	// Alice brokers: outgoing 100 coins covered by incoming 101, outgoing
+	// tickets covered by incoming tickets — she escrows nothing (§1.1:
+	// "Alice enters the deal with no assets to swap").
+	if obs := s.EscrowObligations("alice"); len(obs) != 0 {
+		t.Fatalf("alice obligations = %v, want none", obs)
+	}
+
+	// Bob escrows the tickets.
+	obs := s.EscrowObligations("bob")
+	if len(obs) != 1 || len(obs[0].Tokens) != 1 || obs[0].Tokens[0] != "seat-1A" {
+		t.Fatalf("bob obligations = %v, want the tickets", obs)
+	}
+
+	// Carol escrows her 101 coins.
+	obs = s.EscrowObligations("carol")
+	if len(obs) != 1 || obs[0].Amount != 101 {
+		t.Fatalf("carol obligations = %v, want 101 coins", obs)
+	}
+	if obs[0].Asset.Chain != "coinchain" {
+		t.Fatalf("carol obligation on %s, want coinchain", obs[0].Asset.Chain)
+	}
+}
+
+func TestPartialCoverObligation(t *testing.T) {
+	coins := func(n uint64) AssetRef {
+		return AssetRef{Chain: "c", Token: "coin", Escrow: "e", Kind: Fungible, Amount: n}
+	}
+	s := &Spec{
+		ID:      "partial",
+		Parties: []chain.Addr{"a", "b", "c"},
+		Transfers: []Transfer{
+			{From: "a", To: "b", Asset: coins(50)}, // a sends 50
+			{From: "c", To: "a", Asset: coins(30)}, // a receives 30
+			{From: "b", To: "c", Asset: coins(20)},
+		},
+		T0: 1, Delta: 1,
+	}
+	obs := s.EscrowObligations("a")
+	if len(obs) != 1 || obs[0].Amount != 20 {
+		t.Fatalf("a obligations = %v, want shortfall of 20", obs)
+	}
+}
+
+func TestInitialOwner(t *testing.T) {
+	s := brokerSpec()
+	key := s.Transfers[1].Asset.Key() // tickets escrow
+	if got := s.InitialOwner(key, "seat-1A"); got != "bob" {
+		t.Fatalf("InitialOwner = %s, want bob", got)
+	}
+	if got := s.InitialOwner(key, "ghost"); got != "" {
+		t.Fatalf("InitialOwner of absent token = %s, want empty", got)
+	}
+}
+
+func TestFungibleInOutSums(t *testing.T) {
+	s := brokerSpec()
+	coinKey := s.Transfers[0].Asset.Key()
+	if got := s.FungibleIncoming("alice", coinKey); got != 101 {
+		t.Fatalf("alice incoming coins = %d, want 101", got)
+	}
+	if got := s.FungibleOutgoing("alice", coinKey); got != 100 {
+		t.Fatalf("alice outgoing coins = %d, want 100", got)
+	}
+	if got := s.FungibleIncoming("bob", coinKey); got != 100 {
+		t.Fatalf("bob incoming coins = %d, want 100", got)
+	}
+}
+
+func TestIncomingTokens(t *testing.T) {
+	s := brokerSpec()
+	tixKey := s.Transfers[1].Asset.Key()
+	got := s.IncomingTokens("carol", tixKey)
+	if len(got) != 1 || got[0] != "seat-1A" {
+		t.Fatalf("carol incoming tokens = %v", got)
+	}
+	if got := s.IncomingTokens("bob", tixKey); len(got) != 0 {
+		t.Fatalf("bob incoming tokens = %v, want none", got)
+	}
+}
+
+func TestObligationsDeterministicOrder(t *testing.T) {
+	s := brokerSpec()
+	a := s.EscrowObligations("carol")
+	b := s.EscrowObligations("carol")
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic obligations")
+	}
+	for i := range a {
+		if a[i].Asset.Key() != b[i].Asset.Key() {
+			t.Fatal("nondeterministic obligation order")
+		}
+	}
+}

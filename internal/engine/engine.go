@@ -1,0 +1,439 @@
+// Package engine orchestrates end-to-end deal executions: it constructs
+// the multi-chain world a deal spans (chains, token contracts, escrow
+// managers, the CBC when needed), runs the parties through the deal's
+// phases, and evaluates the paper's correctness properties over the final
+// state:
+//
+//	Property 1 (safety): a compliant party that pays anything receives
+//	everything; one that misses anything pays nothing.
+//	Property 2 (weak liveness): no compliant party's assets stay locked.
+//	Property 3 (strong liveness): with all parties compliant, every
+//	transfer happens.
+//
+// The engine is the measurement apparatus for the reproduction: it
+// tracks per-phase gas (Figure 4) and per-phase duration in Δ units
+// (Figure 7).
+package engine
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"sort"
+
+	"xdeal/internal/cbc"
+	"xdeal/internal/chain"
+	"xdeal/internal/clearing"
+	"xdeal/internal/deal"
+	"xdeal/internal/escrow"
+	"xdeal/internal/gas"
+	"xdeal/internal/party"
+	"xdeal/internal/sig"
+	"xdeal/internal/sim"
+	"xdeal/internal/timelock"
+	"xdeal/internal/token"
+	"xdeal/internal/trace"
+)
+
+// Options configures a world build.
+type Options struct {
+	Seed     uint64
+	Protocol party.Protocol
+	// Behaviors configures deviations per party; absent parties are
+	// compliant.
+	Behaviors map[chain.Addr]party.Behavior
+	// F is the CBC committee's fault tolerance (CBC protocol only).
+	F           int
+	ProofFormat party.ProofFormat
+	// FixedTimeout enables the broken naive timelock rule (ablation).
+	FixedTimeout bool
+	// Delays overrides the asset chains' network model.
+	Delays chain.DelayPolicy
+	// CBCDelays overrides the CBC's network model.
+	CBCDelays chain.DelayPolicy
+	// Censor lists parties whose CBC votes validators drop.
+	Censor map[chain.Addr]bool
+	// Patience is the CBC give-up timer; defaults to 10Δ.
+	Patience sim.Duration
+	// BlockInterval for all chains; defaults to 10 ticks.
+	BlockInterval sim.Duration
+	// RunLimit caps simulated time; 0 runs to quiescence.
+	RunLimit sim.Time
+	// Reconfigure the CBC committee this many times mid-deal (ablation).
+	Reconfigurations int
+	// Trace, when non-nil, receives a chronological record of every
+	// protocol-relevant event across all chains and the CBC.
+	Trace *trace.Log
+	// Outages maps chains to denial-of-service windows during which they
+	// produce no blocks (§5.3/§9 DoS analysis).
+	Outages map[chain.ID]Outage
+	// CBCOutage is a DoS window against the CBC itself (§9).
+	CBCOutage Outage
+}
+
+// Outage is a window during which a chain produces no blocks.
+type Outage struct {
+	From, Until sim.Time
+}
+
+// World is a fully wired simulation of one deal.
+type World struct {
+	Spec    *deal.Spec
+	Sched   *sim.Scheduler
+	Chains  map[chain.ID]*chain.Chain
+	CBC     *cbc.CBC
+	Parties map[chain.Addr]*party.Party
+
+	// Fungibles and NFTs index token contracts by escrow key.
+	Fungibles map[string]*token.Fungible
+	NFTs      map[string]*token.NFT
+	// Managers indexes escrow managers by escrow key.
+	Managers map[string]EscrowInspector
+
+	opts Options
+	keys map[string]sig.KeyPair
+
+	// Metrics.
+	initialFungible map[chain.Addr]map[string]uint64 // party -> escrow key -> balance
+	initialTokens   map[string]map[string]chain.Addr // escrow key -> token id -> owner
+	escrowedAt      map[string]sim.Time              // escrow key/party -> time
+	transferredAt   []sim.Time
+	validatedAt     map[chain.Addr]sim.Time
+	outcomeAt       map[string]sim.Time
+	startAt         sim.Time
+}
+
+// EscrowInspector is what the engine needs from an escrow manager:
+// deal-state inspection, regardless of protocol.
+type EscrowInspector interface {
+	chain.Contract
+	Deal(id string) *escrow.State
+	ViewOf(id string) escrow.View
+}
+
+// Build constructs the world for a deal spec. The returned world is
+// quiescent: tokens minted, approvals granted, nothing started.
+func Build(spec *deal.Spec, opts Options) (*World, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Protocol == party.ProtoTimelock {
+		if err := spec.ValidateTimelock(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.BlockInterval <= 0 {
+		opts.BlockInterval = 10
+	}
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(opts.Seed ^ 0x9e3779b9)
+
+	w := &World{
+		Spec:            spec,
+		Sched:           sched,
+		Chains:          make(map[chain.ID]*chain.Chain),
+		Parties:         make(map[chain.Addr]*party.Party),
+		Fungibles:       make(map[string]*token.Fungible),
+		NFTs:            make(map[string]*token.NFT),
+		Managers:        make(map[string]EscrowInspector),
+		opts:            opts,
+		keys:            make(map[string]sig.KeyPair),
+		initialFungible: make(map[chain.Addr]map[string]uint64),
+		initialTokens:   make(map[string]map[string]chain.Addr),
+		escrowedAt:      make(map[string]sim.Time),
+		validatedAt:     make(map[chain.Addr]sim.Time),
+		outcomeAt:       make(map[string]sim.Time),
+	}
+
+	// Party keys; public keys known to every chain (§3).
+	pubs := make(map[string]ed25519.PublicKey)
+	for _, p := range spec.Parties {
+		kp := sig.GenerateKeyPair(string(p))
+		w.keys[string(p)] = kp
+		pubs[string(p)] = kp.Public
+	}
+
+	delays := opts.Delays
+	if delays == nil {
+		delays = chain.SyncPolicy{Min: 1, Max: 5}
+	}
+
+	// Chains and asset/escrow contracts.
+	for _, a := range spec.Escrows() {
+		c, ok := w.Chains[a.Chain]
+		if !ok {
+			outage := opts.Outages[a.Chain]
+			c = chain.New(chain.Config{
+				ID:            a.Chain,
+				BlockInterval: opts.BlockInterval,
+				Delays:        delays,
+				Schedule:      gas.DefaultSchedule(),
+				Keys:          pubs,
+				OutageFrom:    outage.From,
+				OutageUntil:   outage.Until,
+			}, sched, rng)
+			w.Chains[a.Chain] = c
+		}
+		key := a.Key()
+		if a.Kind == deal.Fungible {
+			f := token.NewFungible(string(a.Token), "mint-authority")
+			w.Fungibles[key] = f
+			if c.Contract(a.Token) == nil {
+				c.MustDeploy(a.Token, f)
+			}
+		} else {
+			n := token.NewNFT(string(a.Token), "mint-authority")
+			w.NFTs[key] = n
+			if c.Contract(a.Token) == nil {
+				c.MustDeploy(a.Token, n)
+			}
+		}
+		book := escrow.NewBook(a.Token, a.Kind)
+		var mgr EscrowInspector
+		if opts.Protocol == party.ProtoTimelock {
+			tm := timelock.New(book)
+			tm.FixedTimeout = opts.FixedTimeout
+			mgr = tm
+		} else {
+			mgr = cbc.NewManager(book)
+		}
+		w.Managers[key] = mgr
+		c.MustDeploy(a.Escrow, mgr)
+	}
+
+	// CBC service.
+	if opts.Protocol == party.ProtoCBC {
+		cbcDelays := opts.CBCDelays
+		if cbcDelays == nil {
+			cbcDelays = delays
+		}
+		f := opts.F
+		if f <= 0 {
+			f = 1
+		}
+		w.CBC = cbc.New(cbc.Config{
+			Tag: "cbc/" + spec.ID, F: f,
+			BlockInterval: opts.BlockInterval,
+			Delays:        cbcDelays,
+			Schedule:      gas.DefaultSchedule(),
+			Censor:        opts.Censor,
+			OutageFrom:    opts.CBCOutage.From,
+			OutageUntil:   opts.CBCOutage.Until,
+		}, sched, rng)
+	}
+
+	// Fund parties: each receives exactly its escrow obligations.
+	w.fund()
+	sched.Run() // drain setup transactions
+
+	// Record initial holdings.
+	for _, p := range spec.Parties {
+		w.initialFungible[p] = make(map[string]uint64)
+		for key, f := range w.Fungibles {
+			w.initialFungible[p][key] = f.BalanceOf(p)
+		}
+	}
+	for key, n := range w.NFTs {
+		owners := make(map[string]chain.Addr)
+		for _, t := range spec.Transfers {
+			if t.Asset.Key() == key && t.Asset.Kind == deal.NonFungible {
+				owners[t.Asset.ID] = n.OwnerOf(t.Asset.ID)
+			}
+		}
+		w.initialTokens[key] = owners
+	}
+
+	// Engine-side observation: outcome and phase timing events.
+	for _, c := range w.Chains {
+		c.Subscribe(w.observe)
+	}
+	if opts.Trace != nil {
+		w.attachTrace(opts.Trace)
+	}
+
+	// Parties.
+	patience := opts.Patience
+	if patience <= 0 {
+		patience = 10 * spec.Delta
+	}
+	for i, addr := range spec.Parties {
+		addr := addr
+		cfg := party.Config{
+			Spec:     spec,
+			Protocol: opts.Protocol,
+			Chains:   w.Chains,
+			Sched:    sched,
+			Keys:     w.keys[string(addr)],
+			Behavior: opts.Behaviors[addr],
+			Patience: patience,
+			OnValidated: func(p chain.Addr, at sim.Time) {
+				w.validatedAt[p] = at
+			},
+		}
+		if opts.Protocol == party.ProtoCBC {
+			cfg.CBCHooks = &party.CBCHooks{
+				CBC:          w.CBC,
+				ProofFormat:  opts.ProofFormat,
+				PublishStart: i == 0,
+			}
+		}
+		w.Parties[addr] = party.New(addr, cfg)
+	}
+	return w, nil
+}
+
+// fund mints each party's obligations and grants escrow operator rights.
+func (w *World) fund() {
+	for _, p := range w.Spec.Parties {
+		for _, ob := range p2obligations(w.Spec, p) {
+			a := ob.Asset
+			c := w.Chains[a.Chain]
+			if a.Kind == deal.Fungible {
+				c.Submit(&chain.Tx{Sender: "mint-authority", Contract: a.Token,
+					Method: token.MethodMint, Label: "setup",
+					Args: token.MintArgs{To: p, Amount: ob.Amount}})
+			} else {
+				for _, id := range ob.Tokens {
+					c.Submit(&chain.Tx{Sender: "mint-authority", Contract: a.Token,
+						Method: token.MethodMint, Label: "setup",
+						Args: token.MintArgs{To: p, Token: id}})
+				}
+			}
+			c.Submit(&chain.Tx{Sender: p, Contract: a.Token,
+				Method: token.MethodApprove, Label: "setup",
+				Args: token.ApproveArgs{Operator: a.Escrow, Allowed: true}})
+		}
+	}
+}
+
+func p2obligations(s *deal.Spec, p chain.Addr) []deal.Obligation {
+	return s.EscrowObligations(p)
+}
+
+// observe records protocol milestones from chain events.
+func (w *World) observe(ev chain.Event) {
+	key := string(ev.Chain) + "/" + string(ev.Contract)
+	switch ev.Kind {
+	case escrow.EventEscrowed:
+		d := ev.Data.(escrow.EscrowedEvent)
+		if d.Deal == w.Spec.ID {
+			w.escrowedAt[key+"/"+string(d.Party)] = ev.Time
+		}
+	case escrow.EventTransferred:
+		d := ev.Data.(escrow.TransferredEvent)
+		if d.Deal == w.Spec.ID {
+			w.transferredAt = append(w.transferredAt, ev.Time)
+		}
+	case escrow.EventCommitted, escrow.EventAborted:
+		d := ev.Data.(escrow.OutcomeEvent)
+		if d.Deal == w.Spec.ID {
+			if _, seen := w.outcomeAt[key]; !seen {
+				w.outcomeAt[key] = ev.Time
+			}
+		}
+	}
+}
+
+// Run executes the deal: the clearing service broadcasts the spec at the
+// current time (§4.1), parties start on receipt, and the simulation
+// drains (or runs to the configured limit). Returns the evaluated result.
+func (w *World) Run() *Result {
+	w.startAt = w.Sched.Now()
+	svc := clearing.New(w.Sched)
+	// The engine validates specs at Build time and deliberately permits
+	// experiments on unusual shapes, so the clearing-desk well-formedness
+	// veto is disabled here; parties still judge the deal themselves.
+	svc.Validate = false
+	order := append([]chain.Addr(nil), w.Spec.Parties...)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, addr := range order {
+		p := w.Parties[addr]
+		svc.Register(clearing.ParticipantFunc(func(*deal.Spec) { p.Start() }))
+	}
+	if err := svc.Announce(w.Spec, w.Sched.Now()); err != nil {
+		panic(err) // spec was validated at Build time; unreachable
+	}
+	if w.opts.Reconfigurations > 0 && w.CBC != nil {
+		// Reconfigure mid-deal, spaced across the early protocol.
+		for i := 1; i <= w.opts.Reconfigurations; i++ {
+			w.Sched.After(sim.Duration(i)*w.opts.BlockInterval*3, w.CBC.Reconfigure)
+		}
+	}
+	if w.opts.RunLimit > 0 {
+		w.Sched.RunUntil(w.opts.RunLimit)
+	} else {
+		w.Sched.Run()
+	}
+	return w.evaluate()
+}
+
+// GasMerged returns the union of all chains' meters (plus the CBC's).
+func (w *World) GasMerged() *gas.Meter {
+	m := gas.NewMeter(gas.DefaultSchedule())
+	ids := make([]string, 0, len(w.Chains))
+	for id := range w.Chains {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		m.Merge(w.Chains[chain.ID(id)].Meter())
+	}
+	if w.CBC != nil {
+		m.Merge(w.CBC.Meter())
+	}
+	return m
+}
+
+// Keys exposes a party's keypair (tests and watchtowers).
+func (w *World) Keys(p chain.Addr) sig.KeyPair { return w.keys[string(p)] }
+
+// String summarizes the world configuration.
+func (w *World) String() string {
+	return fmt.Sprintf("world{deal=%s protocol=%s chains=%d escrows=%d parties=%d}",
+		w.Spec.ID, w.opts.Protocol, len(w.Chains), len(w.Managers), len(w.Spec.Parties))
+}
+
+// attachTrace records all chain and CBC activity into the trace log.
+func (w *World) attachTrace(log *trace.Log) {
+	ids := make([]string, 0, len(w.Chains))
+	for id := range w.Chains {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		c := w.Chains[chain.ID(id)]
+		src := string(c.ID())
+		c.Subscribe(func(ev chain.Event) {
+			log.Addf(ev.Time, src, ev.Kind, "%s by %s: %s",
+				ev.Contract, ev.Sender, renderEventData(ev.Data))
+		})
+	}
+	if w.CBC != nil {
+		w.CBC.Subscribe(func(b *cbc.Block) {
+			for _, e := range b.Entries {
+				log.Addf(b.Time, "cbc", e.Kind.String(), "deal %s by %s", e.Deal, e.Party)
+			}
+		})
+	}
+}
+
+// renderEventData renders known event payloads compactly.
+func renderEventData(data any) string {
+	switch d := data.(type) {
+	case escrow.EscrowedEvent:
+		if len(d.Tokens) > 0 {
+			return fmt.Sprintf("%s escrowed %v", d.Party, d.Tokens)
+		}
+		return fmt.Sprintf("%s escrowed %d", d.Party, d.Amount)
+	case escrow.TransferredEvent:
+		if len(d.Tokens) > 0 {
+			return fmt.Sprintf("%s -> %s %v (tentative)", d.From, d.To, d.Tokens)
+		}
+		return fmt.Sprintf("%s -> %s %d (tentative)", d.From, d.To, d.Amount)
+	case escrow.OutcomeEvent:
+		return fmt.Sprintf("deal %s %s", d.Deal, d.Status)
+	case timelock.VoteEvent:
+		return fmt.Sprintf("vote by %s, path %v", d.Voter, d.Vote.Signers)
+	default:
+		return fmt.Sprintf("%v", data)
+	}
+}

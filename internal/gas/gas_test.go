@@ -1,0 +1,173 @@
+package gas
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultScheduleMatchesPaper(t *testing.T) {
+	s := DefaultSchedule()
+	// §7.1: "writing to long-lived storage is (usually) 5000 gas, and each
+	// signature verification is 3000 gas".
+	if s.Write != 5000 {
+		t.Fatalf("Write = %d, want 5000", s.Write)
+	}
+	if s.SigVerify != 3000 {
+		t.Fatalf("SigVerify = %d, want 3000", s.SigVerify)
+	}
+	if s.Arith >= 10 {
+		t.Fatalf("Arith = %d, want single digits", s.Arith)
+	}
+	if s.Read < 10 || s.Read > 999 {
+		t.Fatalf("Read = %d, want double or triple digits", s.Read)
+	}
+}
+
+func TestScheduleCost(t *testing.T) {
+	s := DefaultSchedule()
+	cases := []struct {
+		op   Op
+		want uint64
+	}{
+		{OpWrite, 5000},
+		{OpRead, 200},
+		{OpSigVerify, 3000},
+		{OpArith, 5},
+		{OpEvent, 375},
+		{OpTxBase, 21000},
+		{Op("bogus"), 0},
+	}
+	for _, c := range cases {
+		if got := s.Cost(c.op); got != c.want {
+			t.Errorf("Cost(%s) = %d, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestMeterChargeAccumulates(t *testing.T) {
+	m := NewMeter(DefaultSchedule())
+	m.Charge("escrow", OpWrite, 4)
+	m.Charge("escrow", OpSigVerify, 1)
+	m.Charge("commit", OpWrite, 1)
+	wantUsed := uint64(4*5000 + 3000 + 5000)
+	if m.Used() != wantUsed {
+		t.Fatalf("Used() = %d, want %d", m.Used(), wantUsed)
+	}
+	if m.Count(OpWrite) != 5 {
+		t.Fatalf("Count(write) = %d, want 5", m.Count(OpWrite))
+	}
+	if m.UsedByLabel("escrow") != 4*5000+3000 {
+		t.Fatalf("UsedByLabel(escrow) = %d", m.UsedByLabel("escrow"))
+	}
+	if m.CountByLabel("escrow", OpWrite) != 4 {
+		t.Fatalf("CountByLabel(escrow, write) = %d, want 4", m.CountByLabel("escrow", OpWrite))
+	}
+	if m.CountByLabel("commit", OpSigVerify) != 0 {
+		t.Fatal("CountByLabel for unused op should be 0")
+	}
+}
+
+func TestMeterLabelsSorted(t *testing.T) {
+	m := NewMeter(DefaultSchedule())
+	m.Charge("z", OpArith, 1)
+	m.Charge("a", OpArith, 1)
+	m.Charge("m", OpArith, 1)
+	got := m.Labels()
+	if len(got) != 3 || got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Fatalf("Labels() = %v, want [a m z]", got)
+	}
+}
+
+func TestMeterMerge(t *testing.T) {
+	a := NewMeter(DefaultSchedule())
+	b := NewMeter(DefaultSchedule())
+	a.Charge("x", OpWrite, 2)
+	b.Charge("x", OpWrite, 3)
+	b.Charge("y", OpSigVerify, 1)
+	a.Merge(b)
+	if a.Count(OpWrite) != 5 {
+		t.Fatalf("merged Count(write) = %d, want 5", a.Count(OpWrite))
+	}
+	if a.CountByLabel("x", OpWrite) != 5 {
+		t.Fatalf("merged CountByLabel = %d, want 5", a.CountByLabel("x", OpWrite))
+	}
+	if a.UsedByLabel("y") != 3000 {
+		t.Fatalf("merged UsedByLabel(y) = %d, want 3000", a.UsedByLabel("y"))
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter(DefaultSchedule())
+	m.Charge("x", OpWrite, 10)
+	m.Reset()
+	if m.Used() != 0 || m.Count(OpWrite) != 0 || len(m.Labels()) != 0 {
+		t.Fatal("Reset did not clear meter")
+	}
+	// Meter still usable after reset.
+	m.Charge("x", OpWrite, 1)
+	if m.Used() != 5000 {
+		t.Fatalf("post-reset Used() = %d, want 5000", m.Used())
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	m := NewMeter(DefaultSchedule())
+	m.Charge("x", OpWrite, 2)
+	before := m.Snapshot()
+	m.Charge("x", OpWrite, 3)
+	m.Charge("x", OpSigVerify, 1)
+	delta := m.Snapshot().Sub(before)
+	if delta.Counts[OpWrite] != 3 {
+		t.Fatalf("delta write = %d, want 3", delta.Counts[OpWrite])
+	}
+	if delta.Counts[OpSigVerify] != 1 {
+		t.Fatalf("delta sigverify = %d, want 1", delta.Counts[OpSigVerify])
+	}
+	if delta.Used != 3*5000+3000 {
+		t.Fatalf("delta used = %d", delta.Used)
+	}
+}
+
+func TestSnapshotImmutable(t *testing.T) {
+	m := NewMeter(DefaultSchedule())
+	m.Charge("x", OpWrite, 1)
+	snap := m.Snapshot()
+	m.Charge("x", OpWrite, 9)
+	if snap.Counts[OpWrite] != 1 {
+		t.Fatal("snapshot mutated by later charges")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	m := NewMeter(DefaultSchedule())
+	m.Charge("x", OpWrite, 2)
+	m.Charge("x", OpSigVerify, 1)
+	got := m.Snapshot().String()
+	want := "gas=13000 sigverify=1 write=2"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestQuickMeterTotalEqualsSumOfLabels(t *testing.T) {
+	prop := func(charges []struct {
+		Label uint8
+		Op    uint8
+		N     uint16
+	}) bool {
+		m := NewMeter(DefaultSchedule())
+		ops := []Op{OpWrite, OpRead, OpSigVerify, OpArith, OpEvent, OpTxBase}
+		labels := []string{"a", "b", "c"}
+		for _, c := range charges {
+			m.Charge(labels[int(c.Label)%3], ops[int(c.Op)%6], uint64(c.N))
+		}
+		var sum uint64
+		for _, l := range m.Labels() {
+			sum += m.UsedByLabel(l)
+		}
+		return sum == m.Used()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

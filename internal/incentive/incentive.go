@@ -1,0 +1,219 @@
+// Package incentive implements the §9 deposit mechanism: "to discourage
+// maliciously joining then aborting deals, a party might escrow a small
+// deposit that is lost if that party is the first to cause the deal to
+// fail."
+//
+// The Vault contract holds one deposit per party for a given CBC deal.
+// After the deal decides, anyone settles the vault with a CBC
+// block-subsequence proof: the proof's vote replay identifies the
+// decisive abort voter (the "first to cause the deal to fail"), whose
+// deposit is forfeited and split among the other depositors. On commit —
+// or on an abort not attributable to a depositor (e.g. validator
+// censorship followed by an honest rescind would still name the
+// rescinder; economics are the deal designer's problem, per the paper:
+// "designing and implementing such incentives is an area of ongoing
+// research") — deposits are refunded.
+//
+// The vault is also the reason the expensive block-proof format earns its
+// keep (§6.2): the cheap status certificate proves only the outcome,
+// while the block subsequence carries the vote order and thus the
+// culprit's identity.
+package incentive
+
+import (
+	"errors"
+	"fmt"
+
+	"xdeal/internal/cbc"
+	"xdeal/internal/chain"
+	"xdeal/internal/escrow"
+	"xdeal/internal/token"
+)
+
+// Contract methods.
+const (
+	MethodDeposit = "deposit"
+	MethodSettle  = "settle"
+	MethodStatus  = "vault-status" // read-only
+)
+
+// DepositArgs locks a deposit for the configured deal.
+type DepositArgs struct {
+	Amount uint64
+}
+
+// SettleArgs settles the vault against a CBC block proof.
+type SettleArgs struct {
+	Proof cbc.BlockProof
+}
+
+// Errors.
+var (
+	ErrSettledAlready = errors.New("incentive: vault already settled")
+	ErrNotParty       = errors.New("incentive: depositor is not a deal party")
+	ErrZeroDeposit    = errors.New("incentive: zero deposit")
+	ErrNotConfigured  = errors.New("incentive: vault Dinfo not pinned yet")
+)
+
+// View is the read-only state returned by MethodStatus.
+type View struct {
+	Settled   bool
+	Forfeited chain.Addr
+	Deposits  map[chain.Addr]uint64
+}
+
+// Vault is the deposit contract for one deal.
+type Vault struct {
+	// Token is the fungible token contract deposits are held in.
+	Token chain.Addr
+	// DealID and Parties identify the guarded deal.
+	DealID  string
+	Parties []chain.Addr
+	// Info is the CBC Dinfo (start hash + initial committee) proofs are
+	// verified against. It may be pinned after deployment via PinInfo,
+	// since the start hash only exists once the deal starts on the CBC.
+	Info cbc.Info
+
+	deposits  map[chain.Addr]uint64
+	settled   bool
+	forfeited chain.Addr
+}
+
+// NewVault creates a vault guarding the given deal.
+func NewVault(tok chain.Addr, dealID string, parties []chain.Addr) *Vault {
+	return &Vault{
+		Token:    tok,
+		DealID:   dealID,
+		Parties:  append([]chain.Addr(nil), parties...),
+		deposits: make(map[chain.Addr]uint64),
+	}
+}
+
+// PinInfo fixes the Dinfo proofs are verified against. In a deployment
+// this would be part of the contract's constructor arguments, supplied by
+// the party that observed the definitive startDeal; parties verify it the
+// same way they verify escrow Dinfo before depositing.
+func (v *Vault) PinInfo(info cbc.Info) { v.Info = info }
+
+// Forfeited returns the punished party, or "" if none.
+func (v *Vault) Forfeited() chain.Addr { return v.forfeited }
+
+// Deposit returns a party's current deposit balance.
+func (v *Vault) Deposit(p chain.Addr) uint64 { return v.deposits[p] }
+
+// Invoke implements chain.Contract.
+func (v *Vault) Invoke(env *chain.Env, method string, args any) (any, error) {
+	switch method {
+	case MethodDeposit:
+		a, ok := args.(DepositArgs)
+		if !ok {
+			return nil, chain.ErrBadArgs
+		}
+		return nil, v.deposit(env, a)
+	case MethodSettle:
+		a, ok := args.(SettleArgs)
+		if !ok {
+			return nil, chain.ErrBadArgs
+		}
+		return nil, v.settle(env, a)
+	case MethodStatus:
+		view := View{
+			Settled:   v.settled,
+			Forfeited: v.forfeited,
+			Deposits:  make(map[chain.Addr]uint64, len(v.deposits)),
+		}
+		for p, amt := range v.deposits {
+			view.Deposits[p] = amt
+		}
+		return view, nil
+	default:
+		return nil, chain.ErrUnknownMethod
+	}
+}
+
+// deposit pulls the sender's deposit into the vault.
+func (v *Vault) deposit(env *chain.Env, a DepositArgs) error {
+	if v.settled {
+		return ErrSettledAlready
+	}
+	if a.Amount == 0 {
+		return ErrZeroDeposit
+	}
+	sender := env.Sender()
+	if !v.isParty(sender) {
+		return fmt.Errorf("%w: %s", ErrNotParty, sender)
+	}
+	if _, err := env.Call(v.Token, token.MethodTransferFrom, token.TransferFromArgs{
+		From: sender, To: env.Self(), Amount: a.Amount,
+	}); err != nil {
+		return err
+	}
+	v.deposits[sender] += a.Amount
+	env.Write(1)
+	return nil
+}
+
+// settle verifies the proof, forfeits the culprit's deposit on an
+// attributable abort, and refunds everything else.
+func (v *Vault) settle(env *chain.Env, a SettleArgs) error {
+	if v.settled {
+		return ErrSettledAlready
+	}
+	if v.Info.Committee.Size() == 0 {
+		return ErrNotConfigured
+	}
+	status, culprit, err := cbc.VerifyBlockProof(env, v.DealID, v.Info, a.Proof, v.Parties)
+	if err != nil {
+		return err
+	}
+	v.settled = true
+	env.Write(1)
+
+	if status == escrow.StatusAborted && v.deposits[culprit] > 0 {
+		v.forfeited = culprit
+		pot := v.deposits[culprit]
+		v.deposits[culprit] = 0
+		var beneficiaries []chain.Addr
+		for _, p := range v.Parties {
+			if p != culprit && v.deposits[p] > 0 {
+				beneficiaries = append(beneficiaries, p)
+			}
+		}
+		if len(beneficiaries) > 0 {
+			share := pot / uint64(len(beneficiaries))
+			remainder := pot - share*uint64(len(beneficiaries))
+			for i, p := range beneficiaries {
+				v.deposits[p] += share
+				if i == 0 {
+					v.deposits[p] += remainder
+				}
+			}
+			env.Write(len(beneficiaries))
+		}
+		// With no co-depositors the pot stays with the contract — burned,
+		// which still punishes the culprit.
+	}
+
+	for _, p := range v.Parties {
+		amt := v.deposits[p]
+		if amt == 0 {
+			continue
+		}
+		v.deposits[p] = 0
+		if _, err := env.Call(v.Token, token.MethodTransfer, token.TransferArgs{
+			To: p, Amount: amt,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *Vault) isParty(p chain.Addr) bool {
+	for _, q := range v.Parties {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,257 @@
+package party
+
+import (
+	"xdeal/internal/cbc"
+	"xdeal/internal/chain"
+	"xdeal/internal/escrow"
+	"xdeal/internal/sim"
+)
+
+// ProofFormat selects which CBC proof a party presents to escrow
+// contracts: the optimized status certificate or the naive block
+// subsequence (the §6.2 ablation).
+type ProofFormat int
+
+// Proof formats.
+const (
+	ProofStatus ProofFormat = iota
+	ProofBlocks
+)
+
+// CBCHooks wires a CBC-protocol party to the certified blockchain.
+type CBCHooks struct {
+	CBC         *cbc.CBC
+	ProofFormat ProofFormat
+	// PublishStart marks the party that records startDeal on the CBC
+	// ("One party records the start of the deal").
+	PublishStart bool
+}
+
+// cbcState is the CBC driver's bookkeeping.
+type cbcState struct {
+	started       bool
+	startHash     [32]byte
+	votedCommitAt sim.Time
+	votedAbort    bool
+	claimed       map[string]bool
+	gaveUp        bool
+}
+
+// startCBC runs the CBC protocol (§6): observe the startDeal, escrow with
+// the start hash and initial committee as Dinfo, transfer, validate, vote
+// on the CBC, and present proofs to escrow contracts once decided.
+func (p *Party) startCBC() {
+	p.cbcState = &cbcState{claimed: make(map[string]bool)}
+	hooks := p.cfg.CBCHooks
+	p.unsubs = append(p.unsubs, hooks.CBC.Subscribe(func(b *cbc.Block) {
+		if !p.active() {
+			return
+		}
+		p.onCBCBlock(b)
+	}))
+	if hooks.PublishStart {
+		hooks.CBC.Publish(cbc.Entry{
+			Kind:    cbc.EntryStartDeal,
+			Deal:    p.cfg.Spec.ID,
+			Party:   p.Addr,
+			Parties: p.cfg.Spec.Parties,
+		})
+	}
+}
+
+// onCBCBlock reacts to new certified blocks: learn the definitive
+// startDeal, then watch for the decision.
+func (p *Party) onCBCBlock(b *cbc.Block) {
+	st := p.cbcState
+	if !st.started {
+		for idx, e := range b.Entries {
+			if e.Kind != cbc.EntryStartDeal || e.Deal != p.cfg.Spec.ID {
+				continue
+			}
+			if !sameParties(e.Parties, p.cfg.Spec.Parties) {
+				// The recorded plist differs from what clearing
+				// announced; a prudent party refuses to take part.
+				return
+			}
+			st.started = true
+			st.startHash = cbc.StartHash(e.Deal, e.Parties, b.Height, idx)
+			p.performEscrows(cbc.Info{
+				StartHash: st.startHash,
+				Committee: p.cfg.CBCHooks.CBC.InitialCommittee(),
+			})
+			p.scheduleGiveUp()
+			break
+		}
+		if !st.started {
+			return
+		}
+	}
+	// Public readability: the party checks the deal's decision state.
+	if d := p.cfg.CBCHooks.CBC.Deal(p.cfg.Spec.ID); d != nil && d.Status != escrow.StatusActive {
+		p.claimOutcome(d.Status)
+	}
+}
+
+// cbcInfoOK verifies the Dinfo registered at an escrow contract: correct
+// start hash and correct initial validators (§6.2: "they must check their
+// correctness before voting to commit").
+func (p *Party) cbcInfoOK(info any) bool {
+	ci, ok := info.(cbc.Info)
+	if !ok {
+		return false
+	}
+	st := p.cbcState
+	if st == nil || !st.started || ci.StartHash != st.startHash {
+		return false
+	}
+	want := p.cfg.CBCHooks.CBC.InitialCommittee().Encode()
+	return string(ci.Committee.Encode()) == string(want)
+}
+
+// sendCBCVote publishes the party's vote on the CBC. Deviations: an
+// AbortImmediately party votes abort instead; CommitThenAbort rescinds
+// soon after committing (violating the wait-Δ rule when small).
+func (p *Party) sendCBCVote(commit bool) {
+	st := p.cbcState
+	if st == nil || !st.started {
+		return
+	}
+	b := p.cfg.Behavior
+	if b.AbortImmediately {
+		commit = false
+	}
+	kind := cbc.EntryCommit
+	if !commit {
+		kind = cbc.EntryAbort
+		st.votedAbort = true
+	}
+	p.cfg.CBCHooks.CBC.Publish(cbc.Entry{
+		Kind: kind, Deal: p.cfg.Spec.ID, Party: p.Addr, Hash: st.startHash,
+	})
+	if commit {
+		st.votedCommitAt = p.cfg.Sched.Now()
+		if b.CommitThenAbort > 0 {
+			p.cfg.Sched.After(b.CommitThenAbort, func() {
+				p.cfg.CBCHooks.CBC.Publish(cbc.Entry{
+					Kind: cbc.EntryAbort, Deal: p.cfg.Spec.ID,
+					Party: p.Addr, Hash: st.startHash,
+				})
+			})
+		}
+	}
+}
+
+// scheduleGiveUp arms the abort timer: if the deal is still undecided
+// after the party's patience, it votes abort so its assets cannot stay
+// locked (weak liveness). A compliant party that has voted commit waits
+// at least Δ after that vote before rescinding (§6).
+func (p *Party) scheduleGiveUp() {
+	patience := p.cfg.Patience
+	if patience <= 0 {
+		patience = 10 * p.cfg.Spec.Delta
+	}
+	var fire func()
+	fire = func() {
+		st := p.cbcState
+		if st.gaveUp || !p.active() {
+			return
+		}
+		d := p.cfg.CBCHooks.CBC.Deal(p.cfg.Spec.ID)
+		if d == nil || d.Status != escrow.StatusActive {
+			return // decided; nothing to rescind
+		}
+		if st.votedCommitAt > 0 {
+			earliest := st.votedCommitAt + sim.Time(p.cfg.Spec.Delta)
+			if p.cfg.Sched.Now() < earliest {
+				p.cfg.Sched.At(earliest, fire)
+				return
+			}
+		}
+		st.gaveUp = true
+		st.votedAbort = true
+		p.cfg.CBCHooks.CBC.Publish(cbc.Entry{
+			Kind: cbc.EntryAbort, Deal: p.cfg.Spec.ID,
+			Party: p.Addr, Hash: st.startHash,
+		})
+	}
+	p.cfg.Sched.After(patience, fire)
+}
+
+// claimOutcome presents the CBC's decision to escrow contracts: commit
+// proofs to the contracts holding the party's incoming assets (it wants
+// to be paid), abort proofs to those holding its deposits (it wants its
+// refund).
+func (p *Party) claimOutcome(status escrow.Status) {
+	st := p.cbcState
+	spec := p.cfg.Spec
+	method := cbc.MethodCommitProof
+	incoming, _ := spec.EscrowsTouching(p.Addr)
+	refs := incoming
+	if status == escrow.StatusAborted {
+		method = cbc.MethodAbortProof
+		refs = nil
+		for _, ob := range spec.EscrowObligations(p.Addr) {
+			refs = append(refs, ob.Asset)
+		}
+	}
+	for _, a := range refs {
+		a := a
+		key := a.Key()
+		if st.claimed[key] {
+			continue
+		}
+		st.claimed[key] = true
+		args := cbc.ProofArgs{Deal: spec.ID}
+		if p.cfg.CBCHooks.ProofFormat == ProofBlocks {
+			proof, err := p.cfg.CBCHooks.CBC.BlockProofFor(spec.ID)
+			if err != nil {
+				st.claimed[key] = false
+				continue
+			}
+			args.Blocks = &proof
+		} else {
+			proof, err := p.cfg.CBCHooks.CBC.StatusProofFor(spec.ID)
+			if err != nil {
+				st.claimed[key] = false
+				continue
+			}
+			args.Status = &proof
+		}
+		label := LabelCommit
+		if status == escrow.StatusAborted {
+			label = LabelAbort
+		}
+		p.submit(a, method, label, args, func(r *chain.Receipt) {
+			if r.Err != nil {
+				// Someone else may have finalized first; that is fine.
+				return
+			}
+		})
+	}
+}
+
+func sameParties(a, b []chain.Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// corruptInfo distorts the Dinfo a deviating party registers (the
+// CorruptInfo behavior): wrong timing parameters for the timelock
+// protocol, a wrong start hash for the CBC. Compliant counterparties
+// detect the mismatch during validation and refuse to vote.
+func corruptInfo(info any) any {
+	switch i := info.(type) {
+	case cbc.Info:
+		i.StartHash[0] ^= 0xff
+		return i
+	default:
+		return corruptTimelockInfo(info)
+	}
+}

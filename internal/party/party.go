@@ -1,0 +1,558 @@
+// Package party implements the active agents of the system model (§3):
+// autonomous parties that publish entries on blockchains, monitor them
+// for changes, and follow (or deviate from) a deal protocol.
+//
+// The compliant behavior is one code path with explicit deviation
+// injection points (Behavior). This mirrors the paper's adversary model:
+// a deviating party is not a different kind of machine, it is a party
+// that skips or distorts protocol steps wherever it pleases. Property
+// tests randomize Behavior to search for safety violations.
+package party
+
+import (
+	"fmt"
+	"sort"
+
+	"xdeal/internal/chain"
+	"xdeal/internal/deal"
+	"xdeal/internal/escrow"
+	"xdeal/internal/sig"
+	"xdeal/internal/sim"
+)
+
+// Protocol selects the commit protocol a party runs.
+type Protocol int
+
+// Protocols.
+const (
+	ProtoTimelock Protocol = iota
+	ProtoCBC
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoTimelock:
+		return "timelock"
+	case ProtoCBC:
+		return "cbc"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Transaction labels for per-phase gas accounting (Figure 4 rows).
+const (
+	LabelEscrow   = "escrow"
+	LabelTransfer = "transfer"
+	LabelCommit   = "commit"
+	LabelAbort    = "abort"
+)
+
+// Behavior encodes deviations from the protocol. The zero value is fully
+// compliant.
+type Behavior struct {
+	// Shared deviations.
+	SkipEscrow     bool         // never escrow outgoing assets
+	SkipTransfers  bool         // never perform tentative transfers
+	SkipVoting     bool         // never vote commit
+	SkipRefundPoke bool         // never reclaim timed-out escrows
+	CrashAt        sim.Time     // >0: cease all activity at this time
+	OfflineFrom    sim.Time     // >0: drop all observations in window
+	OfflineUntil   sim.Time     //     [OfflineFrom, OfflineUntil)
+	VoteDelay      sim.Duration // delay own commit votes
+	// CorruptInfo registers the deal at escrow contracts with wrong
+	// Dinfo, trying to poison the contract state other parties validate.
+	CorruptInfo bool
+	// EscrowShortfall escrows this much less than owed (fungible), or
+	// withholds one token (non-fungible).
+	EscrowShortfall uint64
+
+	// Timelock-specific deviations.
+	NoForwarding bool // observe others' votes but never forward them
+	Altruistic   bool // send own vote to every escrow contract directly
+
+	// CBC-specific deviations.
+	AbortImmediately bool         // vote abort instead of commit
+	CommitThenAbort  sim.Duration // >0: rescind this soon after committing
+}
+
+// Compliant reports whether the behavior deviates in any way that can
+// hurt other parties' liveness or safety accounting. Altruistic voting
+// and refund-poke skipping by a party with nothing escrowed remain
+// compliant; everything else is a deviation.
+func (b Behavior) Compliant() bool {
+	return !b.SkipEscrow && !b.SkipTransfers && !b.SkipVoting &&
+		b.CrashAt == 0 && b.OfflineFrom == 0 &&
+		!b.NoForwarding && !b.AbortImmediately && b.CommitThenAbort == 0 &&
+		!b.SkipRefundPoke && !b.CorruptInfo && b.EscrowShortfall == 0
+}
+
+// Config wires a party to its environment.
+type Config struct {
+	Spec     *deal.Spec
+	Protocol Protocol
+	Chains   map[chain.ID]*chain.Chain
+	Sched    *sim.Scheduler
+	Keys     sig.KeyPair
+	Behavior Behavior
+	// Patience is how long a CBC party waits for a decision after voting
+	// commit before rescinding with an abort vote. Compliance requires
+	// Patience ≥ Δ (§6); the engine sets a comfortable default.
+	Patience sim.Duration
+	// CBCHooks is set for ProtoCBC parties (see cbcdriver.go).
+	CBCHooks *CBCHooks
+	// OnValidated, when non-nil, is invoked when the party finishes its
+	// validation phase (engine timing metrics).
+	OnValidated func(p chain.Addr, at sim.Time)
+}
+
+// Party is one autonomous participant executing a deal.
+type Party struct {
+	Addr chain.Addr
+	cfg  Config
+
+	crashed   bool
+	validated bool
+	voted     bool
+
+	// Outgoing transfer tracking: index into Spec.Transfers.
+	submitted map[int]bool // submitted and not known failed
+	confirmed map[int]bool // confirmed on chain
+
+	// Escrow obligations submitted/confirmed (by escrow key).
+	escrowSubmitted map[string]bool
+	escrowConfirmed map[string]bool
+
+	// Timelock: votes known accepted at each incoming escrow.
+	acceptedAt map[string]map[chain.Addr]bool
+	// Timelock: forwards already attempted, to avoid spamming duplicates.
+	forwarded map[string]map[chain.Addr]bool
+
+	// CBC driver state (nil for timelock parties).
+	cbcState *cbcState
+
+	unsubs []func()
+}
+
+// New creates a party. Call Start when the clearing phase delivers the
+// deal (the engine does this).
+func New(addr chain.Addr, cfg Config) *Party {
+	return &Party{
+		Addr:            addr,
+		cfg:             cfg,
+		submitted:       make(map[int]bool),
+		confirmed:       make(map[int]bool),
+		escrowSubmitted: make(map[string]bool),
+		escrowConfirmed: make(map[string]bool),
+		acceptedAt:      make(map[string]map[chain.Addr]bool),
+		forwarded:       make(map[string]map[chain.Addr]bool),
+	}
+}
+
+// Behavior returns the party's deviation configuration.
+func (p *Party) Behavior() Behavior { return p.cfg.Behavior }
+
+// Compliant reports whether this party follows the protocol.
+func (p *Party) Compliant() bool { return p.cfg.Behavior.Compliant() }
+
+// Validated reports whether the party completed validation.
+func (p *Party) Validated() bool { return p.validated }
+
+// Start begins protocol execution: the market-clearing service has
+// broadcast the deal and the party decides to participate.
+func (p *Party) Start() {
+	if p.cfg.Behavior.CrashAt > 0 {
+		p.cfg.Sched.At(p.cfg.Behavior.CrashAt, func() { p.crashed = true })
+	}
+	if p.cfg.Behavior.OfflineUntil > p.cfg.Behavior.OfflineFrom && p.cfg.Behavior.OfflineFrom > 0 {
+		// A party coming back online re-reads the public chain state it
+		// missed. It cannot recover the vote *events* it slept through
+		// (that is the §5.3 offline risk watchtowers exist for), but it
+		// can resume its own duties: pending transfers, validation, and
+		// claiming decided outcomes.
+		p.cfg.Sched.At(p.cfg.Behavior.OfflineUntil, func() { p.wake() })
+	}
+	p.subscribeChains()
+	switch p.cfg.Protocol {
+	case ProtoTimelock:
+		p.startTimelock()
+	case ProtoCBC:
+		p.startCBC()
+	}
+}
+
+// wake resumes duties after an offline window.
+func (p *Party) wake() {
+	if !p.active() {
+		return
+	}
+	p.tryTransfers()
+	p.checkValidation()
+	if p.cfg.Protocol == ProtoCBC && p.cbcState != nil && p.cbcState.started {
+		if d := p.cfg.CBCHooks.CBC.Deal(p.cfg.Spec.ID); d != nil && d.Status != escrow.StatusActive {
+			p.claimOutcome(d.Status)
+		}
+	}
+}
+
+// Stop detaches the party from all chains (end of simulation cleanup).
+func (p *Party) Stop() {
+	for _, u := range p.unsubs {
+		u()
+	}
+	p.unsubs = nil
+}
+
+// active reports whether the party is currently acting (not crashed, not
+// in its offline window).
+func (p *Party) active() bool {
+	if p.crashed {
+		return false
+	}
+	b := p.cfg.Behavior
+	if b.OfflineFrom > 0 {
+		now := p.cfg.Sched.Now()
+		if now >= b.OfflineFrom && now < b.OfflineUntil {
+			return false
+		}
+	}
+	return true
+}
+
+// relevantChains lists the chains hosting escrows the party touches.
+func (p *Party) relevantChains() []chain.ID {
+	seen := make(map[chain.ID]bool)
+	in, out := p.cfg.Spec.EscrowsTouching(p.Addr)
+	for _, a := range append(in, out...) {
+		seen[a.Chain] = true
+	}
+	ids := make([]chain.ID, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// subscribeChains attaches the party's event handler to every chain it
+// is motivated to monitor.
+func (p *Party) subscribeChains() {
+	for _, id := range p.relevantChains() {
+		c, ok := p.cfg.Chains[id]
+		if !ok {
+			continue
+		}
+		p.unsubs = append(p.unsubs, c.Subscribe(func(ev chain.Event) {
+			if !p.active() {
+				return
+			}
+			p.onChainEvent(ev)
+		}))
+	}
+}
+
+// onChainEvent reacts to escrow contract events.
+func (p *Party) onChainEvent(ev chain.Event) {
+	switch ev.Kind {
+	case escrow.EventEscrowed, escrow.EventTransferred:
+		if dealOf(ev) != p.cfg.Spec.ID {
+			return
+		}
+		p.tryTransfers()
+		p.checkValidation()
+	default:
+		if p.cfg.Protocol == ProtoTimelock {
+			p.onTimelockEvent(ev)
+		}
+	}
+}
+
+// dealOf extracts the deal id from an escrow event payload.
+func dealOf(ev chain.Event) string {
+	switch d := ev.Data.(type) {
+	case escrow.EscrowedEvent:
+		return d.Deal
+	case escrow.TransferredEvent:
+		return d.Deal
+	case escrow.OutcomeEvent:
+		return d.Deal
+	default:
+		return ""
+	}
+}
+
+// escrowView queries an escrow contract's public state.
+func (p *Party) escrowView(a deal.AssetRef) (escrow.View, bool) {
+	c, ok := p.cfg.Chains[a.Chain]
+	if !ok {
+		return escrow.View{}, false
+	}
+	res, err := c.Query(a.Escrow, escrow.MethodStatus, p.cfg.Spec.ID)
+	if err != nil {
+		return escrow.View{}, false
+	}
+	v, ok := res.(escrow.View)
+	return v, ok
+}
+
+// submit publishes a transaction on the chain hosting the asset.
+func (p *Party) submit(a deal.AssetRef, method, label string, args any, onReceipt func(*chain.Receipt)) {
+	c, ok := p.cfg.Chains[a.Chain]
+	if !ok {
+		return
+	}
+	c.Submit(&chain.Tx{
+		Sender:   p.Addr,
+		Contract: a.Escrow,
+		Method:   method,
+		Args:     args,
+		Label:    label,
+		OnReceipt: func(r *chain.Receipt) {
+			if onReceipt != nil {
+				onReceipt(r)
+			}
+		},
+	})
+}
+
+// performEscrows places the party's outgoing assets in escrow.
+func (p *Party) performEscrows(info any) {
+	if p.cfg.Behavior.SkipEscrow || !p.active() {
+		return
+	}
+	if p.cfg.Behavior.CorruptInfo {
+		info = corruptInfo(info)
+	}
+	for _, ob := range p.cfg.Spec.EscrowObligations(p.Addr) {
+		ob := ob
+		if s := p.cfg.Behavior.EscrowShortfall; s > 0 {
+			if ob.Amount > 0 {
+				if s >= ob.Amount {
+					ob.Amount = 0
+					continue // withholds the entire leg
+				}
+				ob.Amount -= s
+			} else if len(ob.Tokens) > 0 {
+				ob.Tokens = ob.Tokens[:len(ob.Tokens)-1]
+				if len(ob.Tokens) == 0 {
+					continue
+				}
+			}
+		}
+		key := ob.Asset.Key()
+		if p.escrowSubmitted[key] {
+			continue
+		}
+		p.escrowSubmitted[key] = true
+		p.submit(ob.Asset, escrow.MethodEscrow, LabelEscrow, escrow.EscrowArgs{
+			Deal:    p.cfg.Spec.ID,
+			Parties: p.cfg.Spec.Parties,
+			Info:    info,
+			Amount:  ob.Amount,
+			Tokens:  ob.Tokens,
+		}, func(r *chain.Receipt) {
+			if r.Err != nil {
+				p.escrowSubmitted[key] = false // allow retry on next event
+				return
+			}
+			p.escrowConfirmed[key] = true
+			if p.active() {
+				p.tryTransfers()
+				p.checkValidation()
+			}
+		})
+	}
+}
+
+// tryTransfers submits any outgoing transfer whose tentative holdings are
+// in place. Spec order; failures re-enable retry on the next event.
+func (p *Party) tryTransfers() {
+	if p.cfg.Behavior.SkipTransfers || !p.active() {
+		return
+	}
+	spec := p.cfg.Spec
+	// Group views per escrow and track how much we are about to spend so
+	// one event does not double-submit competing transfers.
+	reserved := make(map[string]uint64)
+	for i, t := range spec.Transfers {
+		if t.From != p.Addr || p.submitted[i] {
+			continue
+		}
+		i, t := i, t
+		key := t.Asset.Key()
+		view, ok := p.escrowView(t.Asset)
+		if !ok || !view.Exists {
+			continue
+		}
+		affordable := false
+		if t.Asset.Kind == deal.Fungible {
+			have := view.OnCommit[p.Addr]
+			if have >= reserved[key]+t.Asset.Amount {
+				affordable = true
+				reserved[key] += t.Asset.Amount
+			}
+		} else {
+			if view.CommitOwner[t.Asset.ID] == p.Addr {
+				affordable = true
+			}
+		}
+		if !affordable {
+			continue
+		}
+		p.submitted[i] = true
+		args := escrow.TransferArgs{Deal: spec.ID, To: t.To}
+		if t.Asset.Kind == deal.Fungible {
+			args.Amount = t.Asset.Amount
+		} else {
+			args.Tokens = []string{t.Asset.ID}
+		}
+		p.submit(t.Asset, escrow.MethodTransfer, LabelTransfer, args, func(r *chain.Receipt) {
+			if r.Err != nil {
+				p.submitted[i] = false
+				return
+			}
+			p.confirmed[i] = true
+			if p.active() {
+				p.checkValidation()
+			}
+		})
+	}
+}
+
+// outgoingDone reports whether all of the party's outgoing duties are
+// confirmed on chain.
+func (p *Party) outgoingDone() bool {
+	for _, ob := range p.cfg.Spec.EscrowObligations(p.Addr) {
+		if !p.escrowConfirmed[ob.Asset.Key()] {
+			return false
+		}
+	}
+	for i, t := range p.cfg.Spec.Transfers {
+		if t.From == p.Addr && !p.confirmed[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkValidation runs the validation phase (§4.1): the party checks that
+// its incoming assets are properly escrowed and the deal information is
+// correct, then votes to commit.
+func (p *Party) checkValidation() {
+	if p.validated || !p.active() {
+		return
+	}
+	if p.cfg.Behavior.SkipEscrow || p.cfg.Behavior.SkipTransfers {
+		// A party shirking its duties cannot honestly validate, but a
+		// deviating one may still vote; modeled under SkipVoting=false.
+		_ = 0
+	}
+	if !p.outgoingDone() && !p.cfg.Behavior.SkipEscrow && !p.cfg.Behavior.SkipTransfers {
+		return
+	}
+	spec := p.cfg.Spec
+	incoming, _ := spec.EscrowsTouching(p.Addr)
+	for _, a := range incoming {
+		view, ok := p.escrowView(a)
+		if !ok || !view.Exists {
+			return
+		}
+		if !p.infoSatisfactory(view) {
+			return
+		}
+		key := a.Key()
+		if a.Kind == deal.Fungible {
+			// The contract state is cumulative: by validation time the
+			// party has performed its own outgoing transfers, so its
+			// tentative balance should be its deposit plus incoming
+			// minus outgoing. (For pure pass-through positions this is
+			// zero, but coverage of the outgoing transfers — enforced by
+			// the contract — already certifies the incoming arrived.)
+			var obligation uint64
+			for _, ob := range spec.EscrowObligations(p.Addr) {
+				if ob.Asset.Key() == key {
+					obligation = ob.Amount
+				}
+			}
+			expected := int64(obligation) +
+				int64(spec.FungibleIncoming(p.Addr, key)) -
+				int64(spec.FungibleOutgoing(p.Addr, key))
+			if int64(view.OnCommit[p.Addr]) < expected {
+				return
+			}
+		} else {
+			outgoingIDs := make(map[string]bool)
+			for _, t := range spec.Transfers {
+				if t.From == p.Addr && t.Asset.Key() == key && t.Asset.Kind == deal.NonFungible {
+					outgoingIDs[t.Asset.ID] = true
+				}
+			}
+			for _, id := range spec.IncomingTokens(p.Addr, key) {
+				if view.CommitOwner[id] == p.Addr {
+					continue
+				}
+				if outgoingIDs[id] {
+					// Received and passed on; outgoingDone already
+					// confirmed the onward transfer.
+					continue
+				}
+				return
+			}
+		}
+	}
+	p.validated = true
+	if p.cfg.OnValidated != nil {
+		p.cfg.OnValidated(p.Addr, p.cfg.Sched.Now())
+	}
+	p.castVotes()
+}
+
+// infoSatisfactory checks the Dinfo and plist recorded at the escrow
+// contract against what the clearing phase announced.
+func (p *Party) infoSatisfactory(v escrow.View) bool {
+	if len(v.Parties) != len(p.cfg.Spec.Parties) {
+		return false
+	}
+	for i := range v.Parties {
+		if v.Parties[i] != p.cfg.Spec.Parties[i] {
+			return false
+		}
+	}
+	switch p.cfg.Protocol {
+	case ProtoTimelock:
+		return p.timelockInfoOK(v.Info)
+	case ProtoCBC:
+		return p.cbcInfoOK(v.Info)
+	default:
+		return false
+	}
+}
+
+// castVotes sends the party's commit votes per protocol.
+func (p *Party) castVotes() {
+	if p.cfg.Behavior.SkipVoting || p.voted || !p.active() {
+		return
+	}
+	p.voted = true
+	delay := p.cfg.Behavior.VoteDelay
+	if delay > 0 {
+		p.cfg.Sched.After(delay, func() {
+			if p.active() {
+				p.sendVotes()
+			}
+		})
+		return
+	}
+	p.sendVotes()
+}
+
+// sendVotes dispatches to the protocol driver.
+func (p *Party) sendVotes() {
+	switch p.cfg.Protocol {
+	case ProtoTimelock:
+		p.sendTimelockVotes()
+	case ProtoCBC:
+		p.sendCBCVote(true)
+	}
+}

@@ -1,0 +1,188 @@
+package party
+
+import (
+	"strings"
+	"testing"
+
+	"xdeal/internal/bft"
+	"xdeal/internal/cbc"
+	"xdeal/internal/chain"
+	"xdeal/internal/deal"
+	"xdeal/internal/escrow"
+	"xdeal/internal/sim"
+	"xdeal/internal/timelock"
+)
+
+func TestBehaviorComplianceClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		b         Behavior
+		compliant bool
+	}{
+		{"zero value", Behavior{}, true},
+		{"altruistic", Behavior{Altruistic: true}, true},
+		{"vote delay", Behavior{VoteDelay: 100}, true}, // slow, not deviant
+		{"skip escrow", Behavior{SkipEscrow: true}, false},
+		{"skip transfers", Behavior{SkipTransfers: true}, false},
+		{"skip voting", Behavior{SkipVoting: true}, false},
+		{"no forwarding", Behavior{NoForwarding: true}, false},
+		{"crash", Behavior{CrashAt: 5}, false},
+		{"offline", Behavior{OfflineFrom: 1, OfflineUntil: 2}, false},
+		{"abort immediately", Behavior{AbortImmediately: true}, false},
+		{"commit then abort", Behavior{CommitThenAbort: 1}, false},
+		{"skip refund poke", Behavior{SkipRefundPoke: true}, false},
+	}
+	for _, c := range cases {
+		if got := c.b.Compliant(); got != c.compliant {
+			t.Errorf("%s: Compliant() = %v, want %v", c.name, got, c.compliant)
+		}
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if ProtoTimelock.String() != "timelock" || ProtoCBC.String() != "cbc" {
+		t.Fatal("Protocol.String() broken")
+	}
+	if !strings.Contains(Protocol(9).String(), "9") {
+		t.Fatal("unknown protocol should render numerically")
+	}
+}
+
+func TestRelevantChainsCoverInAndOut(t *testing.T) {
+	spec := deal.BrokerSpec(2000, 1000)
+	p := New("bob", Config{Spec: spec, Protocol: ProtoTimelock})
+	got := p.relevantChains()
+	// Bob sends tickets (ticketchain) and receives coins (coinchain).
+	if len(got) != 2 || got[0] != "coinchain" || got[1] != "ticketchain" {
+		t.Fatalf("relevantChains = %v, want [coinchain ticketchain] sorted", got)
+	}
+}
+
+func TestActiveRespectsCrashAndOffline(t *testing.T) {
+	sched := sim.NewScheduler()
+	spec := deal.BrokerSpec(2000, 1000)
+	p := New("alice", Config{
+		Spec: spec, Protocol: ProtoTimelock, Sched: sched,
+		Behavior: Behavior{OfflineFrom: 100, OfflineUntil: 200},
+	})
+	if !p.active() {
+		t.Fatal("party inactive before offline window")
+	}
+	sched.RunUntil(150)
+	if p.active() {
+		t.Fatal("party active inside offline window")
+	}
+	sched.RunUntil(250)
+	if !p.active() {
+		t.Fatal("party inactive after offline window")
+	}
+
+	p2 := New("bob", Config{
+		Spec: spec, Protocol: ProtoTimelock, Sched: sched,
+		Behavior: Behavior{CrashAt: 300},
+	})
+	p2.Start()
+	defer p2.Stop()
+	sched.RunUntil(400)
+	if p2.active() {
+		t.Fatal("party active after crash")
+	}
+}
+
+func TestDealOfExtractsIDs(t *testing.T) {
+	cases := []struct {
+		data any
+		want string
+	}{
+		{escrow.EscrowedEvent{Deal: "D1"}, "D1"},
+		{escrow.TransferredEvent{Deal: "D2"}, "D2"},
+		{escrow.OutcomeEvent{Deal: "D3"}, "D3"},
+		{"something else", ""},
+	}
+	for _, c := range cases {
+		if got := dealOf(chain.Event{Data: c.data}); got != c.want {
+			t.Errorf("dealOf(%T) = %q, want %q", c.data, got, c.want)
+		}
+	}
+}
+
+func TestTimelockInfoValidation(t *testing.T) {
+	spec := deal.BrokerSpec(2000, 1000)
+	p := New("alice", Config{Spec: spec, Protocol: ProtoTimelock})
+	if !p.timelockInfoOK(timelock.Info{T0: 2000, Delta: 1000}) {
+		t.Fatal("correct info rejected")
+	}
+	if p.timelockInfoOK(timelock.Info{T0: 1, Delta: 1000}) {
+		t.Fatal("wrong t0 accepted")
+	}
+	if p.timelockInfoOK("not info") {
+		t.Fatal("foreign info type accepted")
+	}
+}
+
+func TestInfoSatisfactoryChecksPlist(t *testing.T) {
+	spec := deal.BrokerSpec(2000, 1000)
+	p := New("alice", Config{Spec: spec, Protocol: ProtoTimelock})
+	good := escrow.View{
+		Parties: spec.Parties,
+		Info:    timelock.Info{T0: 2000, Delta: 1000},
+	}
+	if !p.infoSatisfactory(good) {
+		t.Fatal("correct view rejected")
+	}
+	bad := good
+	bad.Parties = []chain.Addr{"alice", "bob"}
+	if p.infoSatisfactory(bad) {
+		t.Fatal("truncated plist accepted")
+	}
+}
+
+func TestMarkAcceptedTracksVoters(t *testing.T) {
+	spec := deal.BrokerSpec(2000, 1000)
+	p := New("alice", Config{Spec: spec, Protocol: ProtoTimelock})
+	p.markAccepted("k", "bob")
+	p.markAccepted("k", "carol")
+	if !p.acceptedAt["k"]["bob"] || !p.acceptedAt["k"]["carol"] {
+		t.Fatal("votes not recorded")
+	}
+	if p.acceptedAt["other"]["bob"] {
+		t.Fatal("cross-key contamination")
+	}
+}
+
+func TestCBCInfoValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	spec := deal.BrokerSpec(2000, 1000)
+	c := cbc.New(cbc.Config{Tag: "t", F: 1, BlockInterval: 10,
+		Delays: chain.SyncPolicy{Min: 1, Max: 3}}, sched, sim.NewRNG(5))
+	p := New("alice", Config{
+		Spec: spec, Protocol: ProtoCBC, Sched: sched,
+		CBCHooks: &CBCHooks{CBC: c},
+	})
+	p.cbcState = &cbcState{started: true}
+	p.cbcState.startHash = [32]byte{1, 2, 3}
+
+	good := cbc.Info{StartHash: p.cbcState.startHash, Committee: c.InitialCommittee()}
+	if !p.cbcInfoOK(good) {
+		t.Fatal("correct CBC info rejected")
+	}
+	wrongHash := good
+	wrongHash.StartHash[0] ^= 0xff
+	if p.cbcInfoOK(wrongHash) {
+		t.Fatal("wrong start hash accepted")
+	}
+	evil, _ := bft.NewCommittee("evil", 0, 1)
+	wrongCommittee := good
+	wrongCommittee.Committee = evil
+	if p.cbcInfoOK(wrongCommittee) {
+		t.Fatal("foreign committee accepted")
+	}
+	if p.cbcInfoOK("garbage") {
+		t.Fatal("non-info accepted")
+	}
+	// A party that has not yet seen the startDeal trusts nothing.
+	p.cbcState.started = false
+	if p.cbcInfoOK(good) {
+		t.Fatal("info accepted before the startDeal was observed")
+	}
+}

@@ -1,0 +1,139 @@
+package party
+
+import (
+	"xdeal/internal/chain"
+	"xdeal/internal/deal"
+	"xdeal/internal/escrow"
+	"xdeal/internal/sig"
+	"xdeal/internal/sim"
+	"xdeal/internal/timelock"
+)
+
+// startTimelock runs the timelock protocol (§5): escrow immediately, then
+// an event-driven loop of transfers, validation, voting, and vote
+// forwarding. A refund poke is scheduled after the deal's overall timeout
+// so escrowed assets are never locked forever (weak liveness).
+func (p *Party) startTimelock() {
+	info := timelock.Info{T0: p.cfg.Spec.T0, Delta: p.cfg.Spec.Delta}
+	p.performEscrows(info)
+
+	if !p.cfg.Behavior.SkipRefundPoke {
+		n := sim.Time(len(p.cfg.Spec.Parties))
+		pokeAt := p.cfg.Spec.T0 + (n+1)*p.cfg.Spec.Delta
+		p.cfg.Sched.At(pokeAt, func() { p.pokeRefunds() })
+	}
+}
+
+// timelockInfoOK verifies the Dinfo registered at an escrow contract.
+func (p *Party) timelockInfoOK(info any) bool {
+	ti, ok := info.(timelock.Info)
+	return ok && ti.T0 == p.cfg.Spec.T0 && ti.Delta == p.cfg.Spec.Delta
+}
+
+// sendTimelockVotes sends the party's own commit vote to the escrow
+// contracts managing its incoming assets — the incentive-compatible
+// minimum. An altruistic party sends it everywhere, collapsing the
+// commit phase to one Δ (Figure 7's footnote).
+func (p *Party) sendTimelockVotes() {
+	var targets []deal.AssetRef
+	if p.cfg.Behavior.Altruistic {
+		targets = p.cfg.Spec.Escrows()
+	} else {
+		targets, _ = p.cfg.Spec.EscrowsTouching(p.Addr)
+	}
+	vote := sig.NewVote(p.cfg.Spec.ID, string(p.Addr), p.cfg.Keys)
+	for _, a := range targets {
+		a := a
+		key := a.Key()
+		p.markAccepted(key, p.Addr) // optimistic; failures are harmless
+		p.submit(a, timelock.MethodCommit, LabelCommit, timelock.CommitArgs{
+			Deal: p.cfg.Spec.ID, Vote: vote,
+		}, nil)
+	}
+}
+
+// onTimelockEvent handles vote-accepted events: record votes landing on
+// incoming escrows, and forward votes seen anywhere to incoming escrows
+// that still lack them. Forwarding is the motivated behavior of §5: a
+// party wants its incoming contracts to collect every vote so it gets
+// paid.
+func (p *Party) onTimelockEvent(ev chain.Event) {
+	if ev.Kind != timelock.EventVoteAccepted {
+		return
+	}
+	data, ok := ev.Data.(timelock.VoteEvent)
+	if !ok || data.Deal != p.cfg.Spec.ID {
+		return
+	}
+	seenAt := string(ev.Chain) + "/" + string(ev.Contract)
+	incoming, _ := p.cfg.Spec.EscrowsTouching(p.Addr)
+	for _, a := range incoming {
+		if a.Key() == seenAt {
+			p.markAccepted(seenAt, data.Voter)
+		}
+	}
+	if p.cfg.Behavior.NoForwarding {
+		return
+	}
+	if data.Vote.Contains(string(p.Addr)) {
+		// The path already carries our signature (or it is our own
+		// vote): we have already pushed this vote as far as we can.
+		return
+	}
+	for _, a := range incoming {
+		a := a
+		key := a.Key()
+		if key == seenAt {
+			continue
+		}
+		if p.acceptedAt[key][data.Voter] || p.forwarded[key][data.Voter] {
+			continue
+		}
+		fw := p.forwarded[key]
+		if fw == nil {
+			fw = make(map[chain.Addr]bool)
+			p.forwarded[key] = fw
+		}
+		fw[data.Voter] = true
+		forwardedVote := data.Vote.Forward(string(p.Addr), p.cfg.Keys)
+		p.submit(a, timelock.MethodCommit, LabelCommit, timelock.CommitArgs{
+			Deal: p.cfg.Spec.ID, Vote: forwardedVote,
+		}, nil)
+	}
+}
+
+// markAccepted records that an escrow contract has accepted a vote.
+func (p *Party) markAccepted(escrowKey string, voter chain.Addr) {
+	m := p.acceptedAt[escrowKey]
+	if m == nil {
+		m = make(map[chain.Addr]bool)
+		p.acceptedAt[escrowKey] = m
+	}
+	m[voter] = true
+}
+
+// pokeRefunds asks the contracts holding the party's deposits to refund
+// them if the deal timed out without committing.
+func (p *Party) pokeRefunds() {
+	if !p.active() {
+		return
+	}
+	for _, ob := range p.cfg.Spec.EscrowObligations(p.Addr) {
+		view, ok := p.escrowView(ob.Asset)
+		if !ok || !view.Exists || view.Status != escrow.StatusActive {
+			continue
+		}
+		p.submit(ob.Asset, timelock.MethodRefund, LabelAbort,
+			timelock.RefundArgs{Deal: p.cfg.Spec.ID}, nil)
+	}
+}
+
+// corruptTimelockInfo distorts timelock Dinfo for the CorruptInfo
+// behavior.
+func corruptTimelockInfo(info any) any {
+	if ti, ok := info.(timelock.Info); ok {
+		ti.Delta++
+		return ti
+	}
+	return info
+}

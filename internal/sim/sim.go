@@ -1,0 +1,137 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, an event scheduler, and a seeded random source.
+//
+// Every component of the reproduction (blockchains, parties, networks,
+// consensus) runs on top of a single Scheduler, so entire multi-chain
+// protocol executions are single-threaded, reproducible, and fast.
+// Virtual time is measured in abstract ticks; the protocols only care
+// about the synchrony bound Δ expressed in the same unit.
+package sim
+
+import "container/heap"
+
+// Time is a point in virtual time, measured in ticks since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in ticks.
+type Duration = Time
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // FIFO tie-break for events at the same instant
+	fn   func()
+	dead bool
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event scheduler. The zero value is
+// not usable; create one with NewScheduler.
+type Scheduler struct {
+	now   Time
+	seq   uint64
+	queue eventQueue
+	steps uint64
+}
+
+// NewScheduler returns a scheduler with the clock at zero and no events.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// Pending returns the number of events waiting to run.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Cancel is returned by At/After and cancels the event if it has not run.
+type Cancel func()
+
+// At schedules fn to run at time t. Scheduling in the past (t < Now) runs
+// the event at the current time instead, preserving causal order.
+func (s *Scheduler) At(t Time, fn func()) Cancel {
+	if t < s.now {
+		t = s.now
+	}
+	e := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return func() { e.dead = true }
+}
+
+// After schedules fn to run d ticks from now.
+func (s *Scheduler) After(d Duration, fn func()) Cancel {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		s.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+// Events scheduled exactly at t do run.
+func (s *Scheduler) RunUntil(t Time) {
+	for len(s.queue) > 0 {
+		// Peek: queue[0] is the earliest live or dead event.
+		e := s.queue[0]
+		if e.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if e.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor executes events for d ticks from the current time.
+func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now + d) }
