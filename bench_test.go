@@ -216,6 +216,62 @@ func BenchmarkSwapBaseline(b *testing.B) {
 	}
 }
 
+// Fleet benchmarks: the same randomized 64-deal population swept
+// serially (workers=1, the old harness-loop regime) and across growing
+// worker pools. Deal worlds are independent single-threaded
+// simulations, so throughput scales with cores until the pool exceeds
+// them; deals/s is the headline metric, and the report is
+// byte-identical at every worker count.
+func BenchmarkFleetSweepParallelVsSerial(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			const deals = 64
+			for i := 0; i < b.N; i++ {
+				rep, err := xdeal.Sweep(xdeal.SweepOptions{
+					Deals:   deals,
+					Workers: workers,
+					Gen: xdeal.GenOptions{
+						Seed: 7, Protocol: "mixed",
+						AdversaryRate: 0.3, DoSRate: 0.15,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Clean() {
+					b.Fatalf("population not clean: %v", rep.Violations)
+				}
+			}
+			b.ReportMetric(float64(deals*b.N)/b.Elapsed().Seconds(), "deals/s")
+		})
+	}
+}
+
+// The harness experiment sweeps on the same pool: serial (Workers=1)
+// vs one worker per CPU (Workers=0), over the Figure 4 commit-gas
+// n-sweep.
+func BenchmarkHarnessSweepPooled(b *testing.B) {
+	ns := []int{3, 4, 6, 8, 10}
+	for _, workers := range []int{1, 0} {
+		workers := workers
+		name := "serial"
+		if workers == 0 {
+			name = "pooled"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := harness.Workers
+			harness.Workers = workers
+			defer func() { harness.Workers = prev }()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := harness.SweepCommitGasByN(ns, 2, uint64(i+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Substrate micro-benchmarks.
 
 func BenchmarkMicroPathSigVerify(b *testing.B) {

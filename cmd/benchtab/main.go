@@ -31,17 +31,23 @@ func main() {
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
 	}
+	if flag.NArg() > 1 {
+		fmt.Fprintf(os.Stderr, "benchtab: unexpected argument %q\n", flag.Arg(1))
+		os.Exit(2)
+	}
 	out := os.Stdout
 
+	// Commands register into one table that drives both the unknown-
+	// command check and dispatch, so the two cannot drift. "report" is
+	// standalone: it regenerates everything itself, so "all" skips it.
+	type command struct {
+		name       string
+		standalone bool
+		fn         func() error
+	}
+	var commands []command
 	run := func(name string, fn func() error) {
-		if cmd != "all" && cmd != name {
-			return
-		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(out)
+		commands = append(commands, command{name: name, fn: fn})
 	}
 
 	run("fig4", func() error {
@@ -117,10 +123,37 @@ func main() {
 		return harness.SwapVsDeal(out, []int{2, 3, 4, 6, 8}, *seed)
 	})
 
-	if cmd == "report" {
-		if err := harness.WriteReport(out, *seed, *trials); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab report: %v\n", err)
+	commands = append(commands, command{name: "report", standalone: true, fn: func() error {
+		return harness.WriteReport(out, *seed, *trials)
+	}})
+
+	// Reject unknown subcommands: a typo must not silently produce no
+	// output with a success status.
+	valid := cmd == "all"
+	for _, c := range commands {
+		if c.name == cmd {
+			valid = true
+		}
+	}
+	if !valid {
+		names := ""
+		for _, c := range commands {
+			names += c.name + ", "
+		}
+		fmt.Fprintf(os.Stderr, "benchtab: unknown command %q (want %sor all)\n", cmd, names)
+		os.Exit(2)
+	}
+
+	for _, c := range commands {
+		if cmd != c.name && !(cmd == "all" && !c.standalone) {
+			continue
+		}
+		if err := c.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab %s: %v\n", c.name, err)
 			os.Exit(1)
+		}
+		if !c.standalone {
+			fmt.Fprintln(out)
 		}
 	}
 }

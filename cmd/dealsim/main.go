@@ -62,6 +62,10 @@ func main() {
 	showMatrix := flag.Bool("matrix", true, "print the deal matrix (Figure 1 style)")
 	showTrace := flag.Bool("trace", false, "print the chronological protocol trace")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "dealsim: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
 
 	var spec *deal.Spec
 	if *specPath != "" {
@@ -115,6 +119,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "dealsim: bad -deviant entry %q\n", pair)
 				os.Exit(2)
 			}
+			// A deviation for a party the deal does not have would be
+			// silently ignored by the engine; reject it instead.
+			if !spec.HasParty(chain.Addr(kv[0])) {
+				fmt.Fprintf(os.Stderr, "dealsim: -deviant party %q is not in deal %s\n", kv[0], spec.ID)
+				os.Exit(2)
+			}
 			b, err := behaviorByName(kv[1], spec)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "dealsim: %v\n", err)
@@ -126,6 +136,10 @@ func main() {
 	if *censor != "" {
 		opts.Censor = make(map[chain.Addr]bool)
 		for _, p := range strings.Split(*censor, ",") {
+			if !spec.HasParty(chain.Addr(p)) {
+				fmt.Fprintf(os.Stderr, "dealsim: -censor party %q is not in deal %s\n", p, spec.ID)
+				os.Exit(2)
+			}
 			opts.Censor[chain.Addr(p)] = true
 		}
 	}

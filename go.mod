@@ -1,0 +1,3 @@
+module xdeal
+
+go 1.24

@@ -64,6 +64,47 @@ func RingSpec(n int, t0 sim.Time, delta sim.Duration) *Spec {
 	}
 }
 
+// BrokerChainSpec generalizes the broker deal to a chain of k ≥ 1
+// intermediaries: the ticket passes seller → b1 → … → bk → buyer on the
+// ticket chain while payment flows back buyer → bk → … → seller on the
+// coin chain, each broker keeping a commission. Like Alice in the
+// paper's running example, every broker enters with no assets: its
+// outgoing coins are funded by its incoming ones, and the ticket is
+// only passed through tentatively. k = 1 is the Figure 1 shape.
+func BrokerChainSpec(k int, basePrice, commission uint64, t0 sim.Time, delta sim.Duration) *Spec {
+	if k < 1 {
+		k = 1
+	}
+	coins := func(n uint64) AssetRef {
+		return AssetRef{Chain: "coinchain", Token: "coin", Escrow: "coin-escrow", Kind: Fungible, Amount: n}
+	}
+	ticket := AssetRef{Chain: "ticketchain", Token: "ticket", Escrow: "ticket-escrow", Kind: NonFungible, ID: "lot-1"}
+	parties := make([]chain.Addr, 0, k+2)
+	parties = append(parties, "seller")
+	for i := 1; i <= k; i++ {
+		parties = append(parties, chain.Addr(fmt.Sprintf("broker%02d", i)))
+	}
+	parties = append(parties, "buyer")
+	var transfers []Transfer
+	// Ticket path: seller -> broker01 -> ... -> buyer.
+	for i := 0; i <= k; i++ {
+		transfers = append(transfers, Transfer{From: parties[i], To: parties[i+1], Asset: ticket})
+	}
+	// Payment path: buyer -> brokerK -> ... -> seller; each hop upstream
+	// pays commission less, so brokers' coin obligations net to zero.
+	for i := k + 1; i >= 1; i-- {
+		price := basePrice + commission*uint64(i-1)
+		transfers = append(transfers, Transfer{From: parties[i], To: parties[i-1], Asset: coins(price)})
+	}
+	return &Spec{
+		ID:        fmt.Sprintf("brokerchain-%d", k),
+		Parties:   parties,
+		Transfers: transfers,
+		T0:        t0,
+		Delta:     delta,
+	}
+}
+
 // SwapSpec builds the classic two-party cross-chain swap (§8): each party
 // transfers an asset on its own chain directly to the other and halts —
 // the special case of a deal that hashed-timelock protocols cover.

@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"fmt"
+
+	"xdeal/internal/engine"
+)
+
+// Options configures a randomized fleet sweep (cmd/dealsweep mirrors
+// these as flags).
+type Options struct {
+	// Deals is the population size.
+	Deals int
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Gen configures scenario synthesis.
+	Gen GenOptions
+}
+
+// Record is the trimmed, aggregation-ready outcome of one deal run.
+// Seed is the job seed: rebuilding the job from (master seed, Index)
+// or replaying with this record's engine options reproduces the run
+// bit-for-bit.
+type Record struct {
+	Index       int    `json:"index"`
+	Seed        uint64 `json:"seed"`
+	SpecID      string `json:"spec"`
+	Shape       string `json:"shape"`
+	Protocol    string `json:"protocol"`
+	Parties     int    `json:"parties"`
+	Escrows     int    `json:"escrows"`
+	Transfers   int    `json:"transfers"`
+	Adversaries int    `json:"adversaries"`
+	Outage      bool   `json:"outage,omitempty"`
+	// Sequenceable mirrors Job.Sequenceable: Property 3 is only
+	// asserted over sequenceable, fully compliant, outage-free runs.
+	Sequenceable bool `json:"sequenceable"`
+
+	Committed bool `json:"committed"`
+	Aborted   bool `json:"aborted"`
+	Atomic    bool `json:"atomic"`
+
+	SafetyViolations   []string `json:"safety_violations,omitempty"`
+	LivenessViolations []string `json:"liveness_violations,omitempty"`
+
+	Gas       uint64  `json:"gas"`
+	CBCGas    uint64  `json:"cbc_gas,omitempty"`
+	DeltaTime float64 `json:"delta_time"` // decision completion in Δ units
+	EndedAt   int64   `json:"ended_at"`
+
+	Err string `json:"error,omitempty"`
+}
+
+// record evaluates one engine result into a Record.
+func record(job Job, r *engine.Result) Record {
+	rec := Record{
+		Index:        job.Index,
+		Seed:         job.Seed,
+		SpecID:       job.Spec.ID,
+		Shape:        job.Shape,
+		Protocol:     job.Opts.Protocol.String(),
+		Parties:      len(job.Spec.Parties),
+		Escrows:      len(job.Spec.Escrows()),
+		Transfers:    len(job.Spec.Transfers),
+		Adversaries:  job.Adversaries,
+		Outage:       job.Outage,
+		Sequenceable: job.Sequenceable,
+
+		Committed: r.AllCommitted,
+		Aborted:   r.AllAborted,
+		Atomic:    r.Atomic(),
+
+		SafetyViolations:   r.SafetyViolations,
+		LivenessViolations: r.LivenessViolations,
+
+		Gas:       r.Gas.Used(),
+		CBCGas:    r.CBCGas,
+		DeltaTime: r.Phases.InDelta(r.Phases.DecisionEnd, job.Spec.Delta),
+		EndedAt:   int64(r.EndedAt),
+	}
+	return rec
+}
+
+// RunJobs executes the jobs across the worker pool and returns one
+// record per job, in job order. Each job's world is an isolated
+// single-threaded simulation, so runs share nothing; the output is
+// identical for any worker count.
+func RunJobs(jobs []Job, workers int) []Record {
+	records := make([]Record, len(jobs))
+	// Map's per-index error slot is unused: a failed build is itself a
+	// population observation, recorded rather than aborting the sweep.
+	_ = Pool{Workers: workers}.Map(len(jobs), func(i int) error {
+		job := jobs[i]
+		w, err := engine.Build(job.Spec, job.Opts)
+		if err != nil {
+			records[i] = Record{
+				Index: job.Index, Seed: job.Seed, SpecID: job.Spec.ID,
+				Shape: job.Shape, Protocol: job.Opts.Protocol.String(),
+				Adversaries: job.Adversaries,
+				Err:         fmt.Sprintf("build: %v", err),
+			}
+			return nil
+		}
+		records[i] = record(job, w.Run())
+		return nil
+	})
+	return records
+}
+
+// Sweep synthesizes opts.Deals scenarios from the master seed, executes
+// them across the worker pool, and aggregates population statistics.
+// The report depends only on (Gen, Deals) — never on Workers.
+func Sweep(opts Options) (*Report, error) {
+	if opts.Deals < 0 {
+		return nil, fmt.Errorf("fleet: negative deal count %d", opts.Deals)
+	}
+	gen, err := NewGenerator(opts.Gen)
+	if err != nil {
+		return nil, err
+	}
+	jobs := gen.Jobs(opts.Deals)
+	records := RunJobs(jobs, opts.Workers)
+	return Aggregate(records), nil
+}

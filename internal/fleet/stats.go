@@ -1,0 +1,254 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+)
+
+// Dist summarizes a sample distribution with percentiles.
+type Dist struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// NewDist computes a Dist over the samples (order irrelevant).
+func NewDist(samples []float64) Dist {
+	d := Dist{Count: len(samples)}
+	if d.Count == 0 {
+		return d
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	d.Min, d.Max = s[0], s[len(s)-1]
+	d.Mean = sum / float64(len(s))
+	d.P50 = percentile(s, 0.50)
+	d.P90 = percentile(s, 0.90)
+	d.P99 = percentile(s, 0.99)
+	return d
+}
+
+// percentile returns the nearest-rank percentile of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Violation flags one property violation with everything needed to
+// replay the offending run.
+type Violation struct {
+	Index    int    `json:"index"`
+	Seed     uint64 `json:"seed"`
+	SpecID   string `json:"spec"`
+	Protocol string `json:"protocol"`
+	Property string `json:"property"` // "safety (P1)" | "liveness (P2)" | "strong liveness (P3)"
+	Detail   string `json:"detail"`
+}
+
+// Counts tallies outcomes for one slice of the population.
+type Counts struct {
+	Runs      int `json:"runs"`
+	Committed int `json:"committed"`
+	Aborted   int `json:"aborted"`
+	Mixed     int `json:"mixed"` // finalized inconsistently (non-atomic)
+	// Unsettled runs ended atomically but with some escrow never
+	// finalized — e.g. a deviator poisoned its escrow's Dinfo and kept
+	// everyone else out (its own loss, not a violation).
+	Unsettled int `json:"unsettled"`
+	Errored   int `json:"errored"`
+}
+
+func (c *Counts) add(r Record) {
+	c.Runs++
+	switch {
+	case r.Err != "":
+		c.Errored++
+	case r.Committed:
+		c.Committed++
+	case r.Aborted:
+		c.Aborted++
+	case !r.Atomic:
+		c.Mixed++
+	default:
+		c.Unsettled++
+	}
+}
+
+// CommitRate returns committed / runs (0 for an empty slice).
+func (c Counts) CommitRate() float64 {
+	if c.Runs == 0 {
+		return 0
+	}
+	return float64(c.Committed) / float64(c.Runs)
+}
+
+// AbortRate returns aborted / runs (0 for an empty slice).
+func (c Counts) AbortRate() float64 {
+	if c.Runs == 0 {
+		return 0
+	}
+	return float64(c.Aborted) / float64(c.Runs)
+}
+
+// Report aggregates a fleet sweep into population statistics. It is a
+// pure function of the records, so it is identical for every worker
+// count that produced them.
+type Report struct {
+	Total Counts `json:"total"`
+	// FullyCompliant covers runs with no adversaries and no outages —
+	// the slice Property 3 (strong liveness) promises will commit.
+	FullyCompliant Counts `json:"fully_compliant"`
+	// Adversarial covers runs with at least one deviating party.
+	Adversarial Counts `json:"adversarial"`
+
+	ByShape    map[string]*Counts `json:"by_shape"`
+	ByProtocol map[string]*Counts `json:"by_protocol"`
+
+	// Gas and DeltaTime summarize total gas and decision latency (in Δ
+	// units) over finalized runs.
+	Gas       Dist `json:"gas"`
+	DeltaTime Dist `json:"delta_time"`
+
+	// Violations flags every Property 1–3 violation with its seed.
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Aggregate folds records into a report.
+func Aggregate(records []Record) *Report {
+	rep := &Report{
+		ByShape:    make(map[string]*Counts),
+		ByProtocol: make(map[string]*Counts),
+	}
+	var gas, dtime []float64
+	for _, r := range records {
+		rep.Total.add(r)
+		if r.Adversaries == 0 && !r.Outage {
+			rep.FullyCompliant.add(r)
+		}
+		if r.Adversaries > 0 {
+			rep.Adversarial.add(r)
+		}
+		bucket(rep.ByShape, r.Shape).add(r)
+		bucket(rep.ByProtocol, r.Protocol).add(r)
+		if r.Err == "" {
+			gas = append(gas, float64(r.Gas))
+			if r.DeltaTime > 0 {
+				dtime = append(dtime, r.DeltaTime)
+			}
+		}
+		for _, v := range r.SafetyViolations {
+			rep.flag(r, "safety (P1)", v)
+		}
+		for _, v := range r.LivenessViolations {
+			rep.flag(r, "liveness (P2)", v)
+		}
+		if r.Err == "" && r.Adversaries == 0 && !r.Outage && r.Sequenceable && !r.Committed {
+			rep.flag(r, "strong liveness (P3)", "all parties compliant yet the deal did not commit")
+		}
+		if r.Err != "" {
+			rep.flag(r, "error", r.Err)
+		}
+	}
+	rep.Gas = NewDist(gas)
+	rep.DeltaTime = NewDist(dtime)
+	return rep
+}
+
+func bucket(m map[string]*Counts, key string) *Counts {
+	c, ok := m[key]
+	if !ok {
+		c = &Counts{}
+		m[key] = c
+	}
+	return c
+}
+
+func (rep *Report) flag(r Record, property, detail string) {
+	rep.Violations = append(rep.Violations, Violation{
+		Index: r.Index, Seed: r.Seed, SpecID: r.SpecID,
+		Protocol: r.Protocol, Property: property, Detail: detail,
+	})
+}
+
+// Clean reports whether the population saw no property violations and
+// no errors.
+func (rep *Report) Clean() bool { return len(rep.Violations) == 0 }
+
+// WriteJSON renders the report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Fprint renders the report as human-readable tables. Output is fully
+// deterministic (map slices are emitted in sorted key order).
+func (rep *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "fleet sweep: %d deals\n\n", rep.Total.Runs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "slice\truns\tcommitted\taborted\tmixed\tunsettled\terrors\tcommit rate")
+	printCounts := func(name string, c Counts) {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f%%\n",
+			name, c.Runs, c.Committed, c.Aborted, c.Mixed, c.Unsettled, c.Errored, 100*c.CommitRate())
+	}
+	printCounts("total", rep.Total)
+	printCounts("fully compliant", rep.FullyCompliant)
+	printCounts("adversarial", rep.Adversarial)
+	for _, key := range sortedKeys(rep.ByShape) {
+		printCounts("shape="+key, *rep.ByShape[key])
+	}
+	for _, key := range sortedKeys(rep.ByProtocol) {
+		printCounts("protocol="+key, *rep.ByProtocol[key])
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "metric\tcount\tmin\tmean\tp50\tp90\tp99\tmax")
+	fmt.Fprintf(tw, "gas\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+		rep.Gas.Count, rep.Gas.Min, rep.Gas.Mean, rep.Gas.P50, rep.Gas.P90, rep.Gas.P99, rep.Gas.Max)
+	fmt.Fprintf(tw, "decision (Δ)\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+		rep.DeltaTime.Count, rep.DeltaTime.Min, rep.DeltaTime.Mean, rep.DeltaTime.P50,
+		rep.DeltaTime.P90, rep.DeltaTime.P99, rep.DeltaTime.Max)
+	tw.Flush()
+
+	if len(rep.Violations) > 0 {
+		fmt.Fprintf(w, "\nPROPERTY VIOLATIONS (%d) — replay with the flagged seed:\n", len(rep.Violations))
+		for _, v := range rep.Violations {
+			fmt.Fprintf(w, "  deal %d seed %d spec %s (%s): %s — %s\n",
+				v.Index, v.Seed, v.SpecID, v.Protocol, v.Property, v.Detail)
+		}
+	} else {
+		fmt.Fprintf(w, "\nno safety/liveness violations among compliant parties\n")
+	}
+}
+
+func sortedKeys(m map[string]*Counts) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

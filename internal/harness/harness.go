@@ -18,11 +18,20 @@ import (
 	"xdeal/internal/chain"
 	"xdeal/internal/deal"
 	"xdeal/internal/engine"
+	"xdeal/internal/fleet"
 	"xdeal/internal/gas"
 	"xdeal/internal/party"
 	"xdeal/internal/pow"
 	"xdeal/internal/sim"
 )
+
+// Workers bounds the worker pool the harness sweeps run on; 0 (the
+// default) uses one worker per CPU. Each sweep point is an independent
+// single-threaded world, so results are identical for any setting.
+var Workers = 0
+
+// pool returns the sweep worker pool.
+func pool() fleet.Pool { return fleet.Pool{Workers: Workers} }
 
 // GasRow is the measured per-phase gas profile of one protocol execution:
 // one row of Figure 4.
@@ -119,19 +128,24 @@ func Fig4(w io.Writer, n, m, f int, seed uint64) error {
 // contract — the crossover of §9 ("it will usually be more expensive to
 // commit a CBC deal than a timelock deal" when 2f+1 > n²).
 func SweepCommitGasByN(ns []int, f int, seed uint64) ([]GasRow, []GasRow, error) {
-	var tl, cb []GasRow
-	for _, n := range ns {
+	tl := make([]GasRow, len(ns))
+	cb := make([]GasRow, len(ns))
+	// Each (n, protocol) point is an independent world: fan the 2·|ns|
+	// runs out across the fleet pool.
+	err := pool().Map(2*len(ns), func(i int) error {
+		n := ns[i/2]
 		spec := deal.RingSpec(n, sim.Time(3000+500*n), 1000)
-		a, err := RunGas(spec, engine.Options{Seed: seed, Protocol: party.ProtoTimelock})
-		if err != nil {
-			return nil, nil, err
+		if i%2 == 0 {
+			row, err := RunGas(spec, engine.Options{Seed: seed, Protocol: party.ProtoTimelock})
+			tl[i/2] = row
+			return err
 		}
-		b, err := RunGas(spec, engine.Options{Seed: seed, Protocol: party.ProtoCBC, F: f})
-		if err != nil {
-			return nil, nil, err
-		}
-		tl = append(tl, a)
-		cb = append(cb, b)
+		row, err := RunGas(spec, engine.Options{Seed: seed, Protocol: party.ProtoCBC, F: f})
+		cb[i/2] = row
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return tl, cb, nil
 }
@@ -139,14 +153,15 @@ func SweepCommitGasByN(ns []int, f int, seed uint64) ([]GasRow, []GasRow, error)
 // SweepCommitGasByF measures CBC commit verifications as the committee
 // grows at fixed n.
 func SweepCommitGasByF(n int, fs []int, seed uint64) ([]GasRow, error) {
-	var out []GasRow
-	for _, f := range fs {
+	out := make([]GasRow, len(fs))
+	err := pool().Map(len(fs), func(i int) error {
 		spec := deal.RingSpec(n, sim.Time(3000+500*n), 1000)
-		row, err := RunGas(spec, engine.Options{Seed: seed, Protocol: party.ProtoCBC, F: f})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, row)
+		row, err := RunGas(spec, engine.Options{Seed: seed, Protocol: party.ProtoCBC, F: fs[i]})
+		out[i] = row
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -239,40 +254,38 @@ func Fig7(w io.Writer, n int, seed uint64) error {
 	return nil
 }
 
-// Fig7Rows computes the three Figure 7 configurations.
+// Fig7Rows computes the three Figure 7 configurations, fanned out
+// across the fleet pool.
 func Fig7Rows(n int, seed uint64) ([]TimeRow, error) {
 	t0 := sim.Time(40000)
 	delta := sim.Duration(1000)
-	var rows []TimeRow
-
-	spec := deal.RingSpec(n, t0, delta)
-	fw, err := RunTime(spec, engine.Options{Seed: seed, Protocol: party.ProtoTimelock}, "forwarded")
+	rows := make([]TimeRow, 3)
+	err := pool().Map(3, func(i int) error {
+		spec := deal.RingSpec(n, t0, delta)
+		var row TimeRow
+		var err error
+		switch i {
+		case 0:
+			row, err = RunTime(spec, engine.Options{Seed: seed, Protocol: party.ProtoTimelock}, "forwarded")
+		case 1:
+			behaviors := make(map[chain.Addr]party.Behavior)
+			for _, p := range spec.Parties {
+				behaviors[p] = party.Behavior{Altruistic: true}
+			}
+			row, err = RunTime(spec, engine.Options{
+				Seed: seed, Protocol: party.ProtoTimelock, Behaviors: behaviors,
+			}, "altruistic")
+		case 2:
+			row, err = RunTime(spec, engine.Options{
+				Seed: seed, Protocol: party.ProtoCBC, F: 1, Patience: 200000,
+			}, "cbc")
+		}
+		rows[i] = row
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	rows = append(rows, fw)
-
-	spec = deal.RingSpec(n, t0, delta)
-	behaviors := make(map[chain.Addr]party.Behavior)
-	for _, p := range spec.Parties {
-		behaviors[p] = party.Behavior{Altruistic: true}
-	}
-	al, err := RunTime(spec, engine.Options{
-		Seed: seed, Protocol: party.ProtoTimelock, Behaviors: behaviors,
-	}, "altruistic")
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, al)
-
-	spec = deal.RingSpec(n, t0, delta)
-	cb, err := RunTime(spec, engine.Options{
-		Seed: seed, Protocol: party.ProtoCBC, F: 1, Patience: 200000,
-	}, "cbc")
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, cb)
 	return rows, nil
 }
 
@@ -405,26 +418,31 @@ type TransferDepthRow struct {
 // SweepTransferDepth measures transfer-phase duration on rings (depth 1)
 // vs dense path deals (depth n−1) as n grows.
 func SweepTransferDepth(ns []int, seed uint64) ([]TransferDepthRow, error) {
-	var out []TransferDepthRow
-	for _, n := range ns {
+	out := make([]TransferDepthRow, len(ns))
+	err := pool().Map(len(ns), func(i int) error {
+		n := ns[i]
 		ring := deal.RingSpec(n, 40000, 1000)
 		ringRow, err := RunTime(ring, engine.Options{Seed: seed, Protocol: party.ProtoTimelock}, "ring")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		path := deal.DenseSpec(n, 2, 40000, 1000)
 		pathRow, err := RunTime(path, engine.Options{Seed: seed, Protocol: party.ProtoTimelock}, "path")
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, TransferDepthRow{
+		out[i] = TransferDepthRow{
 			N:             n,
 			ChainDepth:    path.MaxTransferChain(),
 			RingTransfer:  ringRow.Transfer,
 			PathTransfer:  pathRow.Transfer,
 			RingCommitted: ringRow.Committed,
 			PathCommitted: pathRow.Committed,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -115,15 +115,19 @@ func RunSwapComparison(n int, seed uint64) (SwapComparisonRow, error) {
 func SwapVsDeal(w io.Writer, ns []int, seed uint64) error {
 	fmt.Fprintln(w, "§8 baseline: circular swap settled as a deal (timelock) vs HTLC")
 	fmt.Fprintln(w)
+	rows := make([]SwapComparisonRow, len(ns))
+	if err := pool().Map(len(ns), func(i int) error {
+		row, err := RunSwapComparison(ns[i], seed)
+		rows[i] = row
+		return err
+	}); err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "n\tdeal sig.ver.\tdeal gas\thtlc sig.ver.\thtlc gas\tboth settle")
-	for _, n := range ns {
-		row, err := RunSwapComparison(n, seed)
-		if err != nil {
-			return err
-		}
+	for i, row := range rows {
 		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%v\n",
-			n, row.DealSigVerifs, row.DealGas, row.HTLCSigVerifs, row.HTLCGas,
+			ns[i], row.DealSigVerifs, row.DealGas, row.HTLCSigVerifs, row.HTLCGas,
 			row.DealCommitted && row.HTLCCommitted)
 	}
 	tw.Flush()

@@ -3,6 +3,7 @@ package party
 import (
 	"xdeal/internal/cbc"
 	"xdeal/internal/chain"
+	"xdeal/internal/deal"
 	"xdeal/internal/escrow"
 	"xdeal/internal/sim"
 )
@@ -179,17 +180,25 @@ func (p *Party) scheduleGiveUp() {
 
 // claimOutcome presents the CBC's decision to escrow contracts: commit
 // proofs to the contracts holding the party's incoming assets (it wants
-// to be paid), abort proofs to those holding its deposits (it wants its
-// refund).
+// to be paid) and to those holding its deposits (the proof is public,
+// §6, and discharging its own escrows is the only way to guarantee its
+// assets cannot stay locked when the counterparty crashes before
+// claiming — weak liveness must not depend on the recipient's
+// diligence); abort proofs go to the contracts holding its deposits (it
+// wants its refund).
 func (p *Party) claimOutcome(status escrow.Status) {
 	st := p.cbcState
 	spec := p.cfg.Spec
 	method := cbc.MethodCommitProof
-	incoming, _ := spec.EscrowsTouching(p.Addr)
-	refs := incoming
+	var refs []deal.AssetRef
 	if status == escrow.StatusAborted {
 		method = cbc.MethodAbortProof
-		refs = nil
+		for _, ob := range spec.EscrowObligations(p.Addr) {
+			refs = append(refs, ob.Asset)
+		}
+	} else {
+		incoming, _ := spec.EscrowsTouching(p.Addr)
+		refs = incoming
 		for _, ob := range spec.EscrowObligations(p.Addr) {
 			refs = append(refs, ob.Asset)
 		}

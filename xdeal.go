@@ -30,6 +30,7 @@ import (
 	"xdeal/internal/chain"
 	"xdeal/internal/deal"
 	"xdeal/internal/engine"
+	"xdeal/internal/fleet"
 	"xdeal/internal/party"
 	"xdeal/internal/sim"
 )
@@ -120,6 +121,28 @@ func AuctionDeal(t0 Time, delta Duration, winBid, loseBid uint64) *Spec {
 func DenseDeal(n, m int, t0 Time, delta Duration) *Spec {
 	return deal.DenseSpec(n, m, t0, delta)
 }
+
+// Fleet types: concurrent randomized populations of deals (see
+// cmd/dealsweep for the CLI route).
+type (
+	// SweepOptions configures a randomized fleet sweep: population
+	// size, worker pool bound, and the scenario generator.
+	SweepOptions = fleet.Options
+	// GenOptions configures scenario synthesis: master seed, protocol
+	// mix, adversary rate, DoS rate, deal size cap.
+	GenOptions = fleet.GenOptions
+	// SweepReport aggregates a sweep: commit/abort rates by slice, gas
+	// and Δ-time percentiles, and flagged property violations.
+	SweepReport = fleet.Report
+)
+
+// Sweep synthesizes a randomized population of deals from the master
+// seed, executes it across a bounded worker pool (each deal world is an
+// isolated single-threaded simulation), and aggregates population
+// statistics. The report depends only on the generator options — never
+// on the worker count — so sweeps are reproducible and every flagged
+// violation is replayable from its seed.
+func Sweep(opts SweepOptions) (*SweepReport, error) { return fleet.Sweep(opts) }
 
 // ReadSpec decodes and validates a JSON deal specification, so deals can
 // be authored as files (see cmd/dealsim's -spec flag for the CLI route).

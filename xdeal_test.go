@@ -119,3 +119,28 @@ func TestPublicAPISpecJSONRoundTrip(t *testing.T) {
 		t.Fatal("round-tripped spec failed to run")
 	}
 }
+
+func TestPublicAPIFleetSweep(t *testing.T) {
+	rep, err := xdeal.Sweep(xdeal.SweepOptions{
+		Deals:   25,
+		Workers: 4,
+		Gen: xdeal.GenOptions{
+			Seed: 3, Protocol: "mixed",
+			AdversaryRate: 0.4, DoSRate: 0.2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Runs != 25 {
+		t.Fatalf("ran %d deals, want 25", rep.Total.Runs)
+	}
+	if !rep.Clean() {
+		t.Fatalf("population not clean: %v", rep.Violations)
+	}
+	var buf strings.Builder
+	rep.Fprint(&buf)
+	if !strings.Contains(buf.String(), "no safety/liveness violations") {
+		t.Fatalf("report missing clean verdict:\n%s", buf.String())
+	}
+}
