@@ -248,6 +248,38 @@ func BenchmarkFleetSweepParallelVsSerial(b *testing.B) {
 	}
 }
 
+// Arena benchmarks: throughput of shared-world populations as the
+// number of shared chains varies. Fewer chains concentrate the same
+// deal traffic onto fewer mempools with capped blocks, so deals/s and
+// per-deal latency both degrade — the contention the arena exists to
+// measure. Baselines are off: this benchmark times the shared world
+// itself, not the inflation-metric replays.
+func BenchmarkArenaThroughput(b *testing.B) {
+	for _, chains := range []int{1, 2, 4, 8} {
+		chains := chains
+		b.Run(fmt.Sprintf("chains=%d", chains), func(b *testing.B) {
+			const deals = 48
+			var decisionP99 float64
+			for i := 0; i < b.N; i++ {
+				rep, err := xdeal.Sweep(xdeal.SweepOptions{
+					Deals:   deals,
+					Workers: 4,
+					Gen: xdeal.GenOptions{
+						Seed: 7, Protocol: "timelock", AdversaryRate: 0.3,
+					},
+					Arena: &xdeal.ArenaOptions{DealsPerArena: 24, Chains: chains},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				decisionP99 = rep.DeltaTime.P99
+			}
+			b.ReportMetric(float64(deals*b.N)/b.Elapsed().Seconds(), "deals/s")
+			b.ReportMetric(decisionP99, "p99-decision-delta")
+		})
+	}
+}
+
 // The harness experiment sweeps on the same pool: serial (Workers=1)
 // vs one worker per CPU (Workers=0), over the Figure 4 commit-gas
 // n-sweep.

@@ -9,11 +9,30 @@
 //	dealsweep -deals 200 -seed 7 -json
 //	dealsweep -seed 7 -replay 131        # re-run flagged deal 131 in full
 //
+// Arena mode runs the population in *shared worlds* instead of isolated
+// ones: -arena-deals deals per world contend for -chains chains with
+// capped block capacity, against adaptive adversaries (sore losers
+// reacting to a -volatility price process, mempool front-runners,
+// griefing depositors). The report gains interference metrics:
+// contention-induced decision-latency inflation, sore-loser losses, and
+// front-run counts.
+//
+//	dealsweep -arena -deals 200 -seed 7
+//	dealsweep -arena -deals 200 -chains 2 -volatility 0.05
+//	dealsweep -arena -deals 200 -seed 7 -replay 42
+//
+// Budgets turn the sweep into a CI gate: -budget-p99-delta and
+// -budget-p99-gas fail the run (exit 1) when the population's p99
+// decision latency (in Δ units) or p99 per-deal gas exceeds the budget,
+// so performance regressions fail CI alongside property violations.
+//
 // The report depends only on (-seed, -deals, generator flags) — never
 // on -workers — so sweeps are reproducible; a violation flagged at
-// index i replays with -replay i under the same generator flags.
-// Exit status: 0 for a clean population, 1 when any property violation
-// or run error was observed, 2 for bad usage.
+// index i replays with -replay i under the same flags (table mode
+// prints the exact command next to each violation).
+// Exit status: 0 for a clean population within budget, 1 when any
+// property violation, run error, or budget breach was observed, 2 for
+// bad usage.
 package main
 
 import (
@@ -58,16 +77,52 @@ func replay(gen fleet.GenOptions, index int) int {
 	return 0
 }
 
+// replayArena re-runs the shared world containing the flagged deal and
+// prints that deal's outcome — bit-identical to the sweep, since an
+// arena is a pure function of (flags, arena index).
+func replayArena(opts fleet.Options, index int) int {
+	out, err := fleet.ReplayArenaDeal(opts, index)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dealsweep: %v\n", err)
+		return 2
+	}
+	fmt.Printf("replay arena deal %d (seed %d): %s — shape %s, %d adversaries, %d sore-loser triggers, %d races\n\n",
+		index, out.Seed, out.Spec.ID, out.Shape, out.Adversaries, out.SoreLosers, out.FrontRuns)
+	fmt.Println(out.Spec.Matrix())
+	r := out.Result
+	fmt.Print(r.Summary())
+	fmt.Printf("  decision latency %.2fΔ in the arena\n", out.ArenaDelta)
+	violations := len(r.SafetyViolations) + len(r.LivenessViolations)
+	if out.Adversaries == 0 && out.Sequenceable && !r.AllCommitted {
+		fmt.Println("  STRONG LIVENESS VIOLATION: all parties compliant yet the deal did not commit (Property 3)")
+		violations++
+	}
+	if violations > 0 {
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	deals := flag.Int("deals", 100, "population size")
 	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
 	seed := flag.Uint64("seed", 1, "master seed; fully determines the population")
 	protocol := flag.String("protocol", "mixed", "protocol: timelock | cbc | mixed")
 	adversaryRate := flag.Float64("adversary-rate", 0.3, "probability each party deviates [0, 1]")
-	dosRate := flag.Float64("dos-rate", 0.15, "probability a run includes a DoS outage window [0, 1]")
+	dosRate := flag.Float64("dos-rate", 0.15, "probability a run includes a DoS outage window [0, 1] (isolated mode)")
 	maxParties := flag.Int("max-parties", 6, "largest generated deal size")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of tables")
 	replayIndex := flag.Int("replay", -1, "re-run this deal index from the sweep in full detail")
+
+	arenaMode := flag.Bool("arena", false, "arena mode: deals share worlds and contend for chains")
+	arenaDeals := flag.Int("arena-deals", 25, "deals per shared world (arena mode)")
+	chains := flag.Int("chains", 4, "shared chains per arena (arena mode)")
+	volatility := flag.Float64("volatility", 0.02, "market price volatility per tick (arena mode)")
+	noBaselines := flag.Bool("no-baselines", false, "skip isolated baselines; drops the latency-inflation metric (arena mode)")
+
+	budgetP99Delta := flag.Float64("budget-p99-delta", 0, "fail (exit 1) when p99 decision latency exceeds this many Δ (0 = off)")
+	budgetP99Gas := flag.Float64("budget-p99-gas", 0, "fail (exit 1) when p99 per-deal gas exceeds this (0 = off)")
+
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "dealsweep: unexpected argument %q\n", flag.Arg(0))
@@ -85,19 +140,33 @@ func main() {
 		DoSRate:       *dosRate,
 		MaxParties:    *maxParties,
 	}
-	if *replayIndex >= 0 {
-		os.Exit(replay(gen, *replayIndex))
-	}
-
-	rep, err := fleet.Sweep(fleet.Options{
+	opts := fleet.Options{
 		Deals:   *deals,
 		Workers: *workers,
 		Gen:     gen,
-	})
+	}
+	if *arenaMode {
+		opts.Arena = &fleet.ArenaOptions{
+			DealsPerArena: *arenaDeals,
+			Chains:        *chains,
+			Volatility:    *volatility,
+			Baselines:     !*noBaselines,
+		}
+	}
+
+	if *replayIndex >= 0 {
+		if *arenaMode {
+			os.Exit(replayArena(opts, *replayIndex))
+		}
+		os.Exit(replay(gen, *replayIndex))
+	}
+
+	rep, err := fleet.Sweep(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dealsweep: %v\n", err)
 		os.Exit(2)
 	}
+	rep.ReplayCommand = replayCommand(opts)
 
 	if *jsonOut {
 		if err := rep.WriteJSON(os.Stdout); err != nil {
@@ -107,7 +176,36 @@ func main() {
 	} else {
 		rep.Fprint(os.Stdout)
 	}
-	if !rep.Clean() {
+
+	failed := !rep.Clean()
+	if *budgetP99Delta > 0 && rep.DeltaTime.P99 > *budgetP99Delta {
+		fmt.Fprintf(os.Stderr, "dealsweep: BUDGET BREACH: p99 decision latency %.2fΔ exceeds budget %.2fΔ\n",
+			rep.DeltaTime.P99, *budgetP99Delta)
+		failed = true
+	}
+	if *budgetP99Gas > 0 && rep.Gas.P99 > *budgetP99Gas {
+		fmt.Fprintf(os.Stderr, "dealsweep: BUDGET BREACH: p99 gas %.0f exceeds budget %.0f\n",
+			rep.Gas.P99, *budgetP99Gas)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// replayCommand renders the exact command that replays one deal of this
+// sweep, with a %d placeholder for the index; the report prints it next
+// to each flagged violation so nothing needs reconstructing by hand.
+func replayCommand(opts fleet.Options) string {
+	g := opts.Gen
+	cmd := fmt.Sprintf("dealsweep -seed %d -deals %d -protocol %s -adversary-rate %v -dos-rate %v -max-parties %d",
+		g.Seed, opts.Deals, g.Protocol, g.AdversaryRate, g.DoSRate, g.MaxParties)
+	if a := opts.Arena; a != nil {
+		cmd += fmt.Sprintf(" -arena -arena-deals %d -chains %d -volatility %v",
+			a.DealsPerArena, a.Chains, a.Volatility)
+		if !a.Baselines {
+			cmd += " -no-baselines"
+		}
+	}
+	return cmd + " -replay %d"
 }

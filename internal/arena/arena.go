@@ -1,0 +1,270 @@
+// Package arena runs a population of cross-chain deals inside one
+// shared world: a single discrete-event scheduler, a small set of
+// chains with shared mempools and capped block capacity, and token and
+// escrow contracts that host many deals at once. Where the fleet
+// studies deals in isolation, the arena studies *interference*: how
+// deals competing for block space inflate each other's decision
+// latency, and what adaptive adversaries — sore losers reacting to a
+// seeded market price process, front-runners watching mempool gossip,
+// griefing depositors — cost their compliant counterparties.
+//
+// The arena preserves the fleet's reproducibility contract: a run is a
+// pure function of (master seed, options). The shared simulation is
+// single-threaded; per-deal isolated baselines (for the latency
+// inflation metric) are the only concurrent work, and their results
+// are folded back in deal order.
+package arena
+
+import (
+	"fmt"
+
+	"xdeal/internal/chain"
+	"xdeal/internal/engine"
+	"xdeal/internal/party"
+	"xdeal/internal/sim"
+)
+
+// Options configures the shared world.
+type Options struct {
+	// Seed drives everything the population seed does not: chain network
+	// delays and the market price process.
+	Seed uint64
+	// Protocol is "timelock" (default) or "cbc"; one arena runs one
+	// protocol, because all deals at one escrow contract must agree on
+	// the commit machinery.
+	Protocol string
+	// Volatility is the per-tick fractional price move of the market
+	// (default 0.02); this is what arms sore losers.
+	Volatility float64
+	// PriceTick is the market step interval (default 100 ticks).
+	PriceTick sim.Duration
+	// MaxBlockTxs caps block capacity on the shared chains (default 8).
+	// Capacity is the contention mechanism: without it, deals sharing a
+	// chain would never slow each other down.
+	MaxBlockTxs int
+	// BlockInterval for the shared chains; defaults to 10 ticks.
+	BlockInterval sim.Duration
+	// Baselines re-runs each deal alone in an isolated world (same
+	// seed, same adversaries, private market) to measure contention-
+	// induced decision-latency inflation. Costs one extra run per deal.
+	Baselines bool
+}
+
+func (o *Options) defaults() error {
+	switch o.Protocol {
+	case "":
+		o.Protocol = "timelock"
+	case "timelock", "cbc":
+	default:
+		return fmt.Errorf("arena: unknown protocol %q (want timelock or cbc)", o.Protocol)
+	}
+	if o.Volatility == 0 {
+		o.Volatility = 0.02
+	}
+	if o.Volatility < 0 {
+		return fmt.Errorf("arena: negative volatility %v", o.Volatility)
+	}
+	if o.PriceTick <= 0 {
+		o.PriceTick = 100
+	}
+	if o.MaxBlockTxs == 0 {
+		o.MaxBlockTxs = 8
+	}
+	if o.BlockInterval <= 0 {
+		o.BlockInterval = 10
+	}
+	return nil
+}
+
+// DealOutcome is one deal's result inside the arena, with the
+// interference measurements attached.
+type DealOutcome struct {
+	DealSetup
+	Result *engine.Result
+
+	// ArenaDelta is decision latency inside the shared world, in Δ
+	// units from the deal's own start; BaselineDelta is the same deal
+	// alone in an isolated world; Inflation is their ratio (0 when
+	// either is unavailable).
+	ArenaDelta    float64
+	BaselineDelta float64
+	Inflation     float64
+
+	// SoreLosers counts sore-loser triggers among this deal's parties;
+	// FrontRuns counts front-run races its parties ran.
+	SoreLosers int
+	FrontRuns  int
+}
+
+// Interference aggregates the arena's cross-deal contention metrics.
+type Interference struct {
+	// SoreLoserTriggers counts parties that backed out on a price move;
+	// SoreLoserDeals counts deals that failed to commit after a trigger;
+	// SoreLoserLoss totals the fungible value compliant counterparties
+	// had locked in those deals — capital timelocked for nothing, the
+	// cost the sore-loser attack imposes (Xue & Herlihy).
+	SoreLoserTriggers int    `json:"sore_loser_triggers"`
+	SoreLoserDeals    int    `json:"sore_loser_deals"`
+	SoreLoserLoss     uint64 `json:"sore_loser_loss"`
+	// FrontRunAttempts / FrontRunWins count mempool races run and won
+	// (the racer's transaction executed before the one it reacted to).
+	FrontRunAttempts int `json:"front_run_attempts"`
+	FrontRunWins     int `json:"front_run_wins"`
+	// InflationSamples holds per-deal arena/baseline decision-latency
+	// ratios (present only when baselines ran).
+	InflationSamples []float64 `json:"-"`
+}
+
+// Result is the evaluated outcome of one arena run.
+type Result struct {
+	Outcomes     []DealOutcome
+	Interference Interference
+}
+
+// Run executes the population inside one shared world. The run is
+// deterministic: the same (opts, pop) always produces the identical
+// result, bit for bit.
+func Run(opts Options, pop []DealSetup) (*Result, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	res := &Result{Outcomes: make([]DealOutcome, len(pop))}
+	if len(pop) == 0 {
+		return res, nil
+	}
+
+	sub := engine.NewSubstrate(engine.SubstrateConfig{
+		Seed:          opts.Seed,
+		BlockInterval: opts.BlockInterval,
+		MaxBlockTxs:   opts.MaxBlockTxs,
+	})
+	market := NewMarket(sub.Sched, sim.Mix64(opts.Seed^0xa5a5a5a5), opts.PriceTick, opts.Volatility)
+
+	// Party -> deal index, for routing adaptive-trigger callbacks.
+	owner := make(map[chain.Addr]int)
+	for k, setup := range pop {
+		for _, p := range setup.Spec.Parties {
+			owner[p] = k
+		}
+	}
+	hooks := &party.AdaptiveHooks{
+		Oracle: market,
+		OnSoreLoser: func(p chain.Addr, tok chain.Addr, drift float64) {
+			res.Outcomes[owner[p]].SoreLosers++
+			res.Interference.SoreLoserTriggers++
+		},
+		OnFrontRun: func(p chain.Addr, method string, won bool) {
+			res.Outcomes[owner[p]].FrontRuns++
+			res.Interference.FrontRunAttempts++
+			if won {
+				res.Interference.FrontRunWins++
+			}
+		},
+	}
+
+	// Build every deal onto the substrate. Specs are copied so the
+	// arena can rebase T0 onto the shared clock without mutating the
+	// population (which the baseline runs still need pristine).
+	worlds := make([]*engine.World, len(pop))
+	leads := make([]sim.Time, len(pop))
+	for k, setup := range pop {
+		res.Outcomes[k].DealSetup = setup
+		leads[k] = setup.Spec.T0
+		spec := *setup.Spec
+		w, err := sub.BuildOn(&spec, engineOptions(opts, setup, hooks))
+		if err != nil {
+			return nil, fmt.Errorf("arena: deal %d (%s): %w", k, setup.Spec.ID, err)
+		}
+		worlds[k] = w
+	}
+
+	// Stagger the starts across the arena and rebase each deal's
+	// timelock clock onto the shared one: T0 stays the same lead ahead
+	// of the deal's start that the generator chose.
+	base := sub.Sched.Now()
+	for k, w := range worlds {
+		w := w
+		startAt := base + sim.Time(pop[k].StartOffset)
+		w.Spec.T0 = startAt + leads[k]
+		sub.Sched.At(startAt, w.Start)
+	}
+	sub.Sched.Run()
+
+	for k, w := range worlds {
+		out := &res.Outcomes[k]
+		out.Result = w.Evaluate()
+		out.ArenaDelta = out.Result.Phases.InDelta(out.Result.Phases.DecisionEnd, w.Spec.Delta)
+	}
+
+	if opts.Baselines {
+		runBaselines(opts, pop, res)
+	}
+
+	// Sore-loser losses: in every deal where a trigger fired and the
+	// commit consequently never happened, the compliant parties' locked
+	// deposits were tied up only to be refunded.
+	for k := range res.Outcomes {
+		out := &res.Outcomes[k]
+		if out.SoreLosers == 0 || out.Result == nil || out.Result.AllCommitted {
+			continue
+		}
+		res.Interference.SoreLoserDeals++
+		for _, p := range out.Spec.Parties {
+			if !out.Result.Compliant[p] {
+				continue
+			}
+			for _, ob := range out.Spec.EscrowObligations(p) {
+				res.Interference.SoreLoserLoss += ob.Amount
+			}
+		}
+	}
+	return res, nil
+}
+
+// engineOptions assembles one deal's engine options for the shared
+// world.
+func engineOptions(opts Options, setup DealSetup, hooks *party.AdaptiveHooks) engine.Options {
+	eo := engine.Options{
+		Seed:          setup.Seed,
+		Behaviors:     setup.Behaviors,
+		BlockInterval: opts.BlockInterval,
+		MaxBlockTxs:   opts.MaxBlockTxs,
+		LabelPrefix:   setup.Spec.ID + "/",
+		Adaptive:      hooks,
+	}
+	if opts.Protocol == "cbc" {
+		eo.Protocol = party.ProtoCBC
+		eo.F = 1
+		eo.Patience = 30 * setup.Spec.Delta
+	} else {
+		eo.Protocol = party.ProtoTimelock
+	}
+	return eo
+}
+
+// runBaselines executes each deal alone — same seed, same adversaries,
+// a private market with the same process parameters — and fills in the
+// latency-inflation metrics. Serial on purpose: arena runs are the unit
+// of parallelism (the fleet spreads arenas across its worker pool).
+func runBaselines(opts Options, pop []DealSetup, res *Result) {
+	for k, setup := range pop {
+		out := &res.Outcomes[k]
+		sub := engine.NewSubstrate(engine.SubstrateConfig{
+			Seed:          setup.Seed,
+			BlockInterval: opts.BlockInterval,
+			MaxBlockTxs:   opts.MaxBlockTxs,
+		})
+		market := NewMarket(sub.Sched, sim.Mix64(opts.Seed^0xa5a5a5a5), opts.PriceTick, opts.Volatility)
+		hooks := &party.AdaptiveHooks{Oracle: market}
+		w, err := sub.BuildOn(setup.Spec, engineOptions(opts, setup, hooks))
+		if err != nil {
+			continue // recorded in the arena pass already if structural
+		}
+		r := w.Run()
+		out.BaselineDelta = r.Phases.InDelta(r.Phases.DecisionEnd, setup.Spec.Delta)
+		if out.BaselineDelta > 0 && out.ArenaDelta > 0 {
+			out.Inflation = out.ArenaDelta / out.BaselineDelta
+			res.Interference.InflationSamples = append(res.Interference.InflationSamples, out.Inflation)
+		}
+	}
+}

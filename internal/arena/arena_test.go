@@ -1,0 +1,180 @@
+package arena
+
+import (
+	"fmt"
+	"testing"
+
+	"xdeal/internal/chain"
+	"xdeal/internal/party"
+)
+
+func testPop(t *testing.T, deals int, advRate float64) []DealSetup {
+	t.Helper()
+	pop, err := NewPopulation(PopOptions{
+		Seed: 7, Deals: deals, Chains: 4, AdversaryRate: advRate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+// fingerprint renders everything an arena result contains, so equality
+// checks cover outcomes, metrics, and per-deal details.
+func fingerprint(res *Result) string {
+	s := fmt.Sprintf("interference=%+v\n", res.Interference)
+	for _, out := range res.Outcomes {
+		s += fmt.Sprintf("deal %d seed %d %s adv=%d sore=%d races=%d delta=%.4f infl=%.4f\n%s",
+			out.Index, out.Seed, out.Spec.ID, out.Adversaries, out.SoreLosers,
+			out.FrontRuns, out.ArenaDelta, out.Inflation, out.Result.Summary())
+	}
+	return s
+}
+
+// TestArenaDeterministicAcrossRuns: the same (options, population)
+// yields a bit-identical result every time — the arena only ever runs
+// single-threaded, so this is the substrate of the fleet-level
+// any-worker-count determinism guarantee.
+func TestArenaDeterministicAcrossRuns(t *testing.T) {
+	pop := testPop(t, 30, 0.3)
+	a, err := Run(Options{Seed: 7, Baselines: true}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Options{Seed: 7, Baselines: true}, testPop(t, 30, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := fingerprint(a), fingerprint(b)
+	if fa != fb {
+		t.Fatalf("same seed, different arena results:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", fa, fb)
+	}
+	other, err := Run(Options{Seed: 8, Baselines: true}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(other) == fa {
+		t.Fatal("different arena seeds produced identical results")
+	}
+}
+
+// TestArenaCompliantPopulationCommits: with no adversaries, every
+// sequenceable deal must still commit despite sharing mempools and
+// capped blocks with dozens of neighbors — contention may slow deals
+// down but must not break strong liveness (the generator budgets T0
+// slack for exactly this).
+func TestArenaCompliantPopulationCommits(t *testing.T) {
+	pop := testPop(t, 40, 0)
+	res, err := Run(Options{Seed: 3}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range res.Outcomes {
+		r := out.Result
+		if len(r.SafetyViolations)+len(r.LivenessViolations) > 0 {
+			t.Fatalf("deal %d (%s): violations under contention:\n%s", out.Index, out.Spec.ID, r.Summary())
+		}
+		if out.Sequenceable && !r.AllCommitted {
+			t.Fatalf("deal %d (%s): compliant sequenceable deal did not commit:\n%s",
+				out.Index, out.Spec.ID, r.Summary())
+		}
+	}
+}
+
+// TestArenaAdversarialPopulationSafe: adaptive adversaries (sore
+// losers, front-runners, griefers) may abort deals and inflate
+// latencies, but compliant counterparties never lose assets (Property
+// 1) and never stay locked (Property 2).
+func TestArenaAdversarialPopulationSafe(t *testing.T) {
+	pop := testPop(t, 40, 0.4)
+	res, err := Run(Options{Seed: 9}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adversarial := 0
+	for _, out := range res.Outcomes {
+		r := out.Result
+		if len(r.SafetyViolations) > 0 {
+			t.Fatalf("deal %d (%s): safety violation:\n%s", out.Index, out.Spec.ID, r.Summary())
+		}
+		if len(r.LivenessViolations) > 0 {
+			t.Fatalf("deal %d (%s): liveness violation:\n%s", out.Index, out.Spec.ID, r.Summary())
+		}
+		if out.Adversaries > 0 {
+			adversarial++
+		}
+	}
+	if adversarial == 0 {
+		t.Fatal("population degenerate: no adversarial deals at 40% rate")
+	}
+}
+
+// TestSoreLoserAbortNeverViolatesSafety is the regression test for the
+// headline attack, under both protocols: a hair-trigger sore loser
+// backs out of its deal on the first upward price tick, the deal fails
+// to commit, and yet the compliant counterparties get every deposit
+// back — no Property 1 (safety) and no Property 2 (liveness) violation.
+func TestSoreLoserAbortNeverViolatesSafety(t *testing.T) {
+	for _, protocol := range []string{"timelock", "cbc"} {
+		t.Run(protocol, func(t *testing.T) {
+			pop, err := NewPopulation(PopOptions{Seed: 11, Deals: 8, Chains: 3, AdversaryRate: 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Plant one hair-trigger sore loser per deal: party 0 always
+			// has an escrow obligation in every generated shape, so it
+			// has something to regret.
+			for k := range pop {
+				victim := pop[k].Spec.Parties[0]
+				pop[k].Behaviors = map[chain.Addr]party.Behavior{
+					victim: {SoreLoserThreshold: 0.0001},
+				}
+				pop[k].Adversaries = 1
+			}
+			res, err := Run(Options{
+				Seed: 5, Protocol: protocol, Volatility: 0.05, PriceTick: 25,
+			}, pop)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Interference.SoreLoserTriggers == 0 {
+				t.Fatal("no sore loser triggered despite hair-trigger thresholds")
+			}
+			aborted := 0
+			for _, out := range res.Outcomes {
+				r := out.Result
+				if len(r.SafetyViolations) > 0 {
+					t.Fatalf("deal %d: sore-loser abort violated safety:\n%s", out.Index, r.Summary())
+				}
+				if len(r.LivenessViolations) > 0 {
+					t.Fatalf("deal %d: sore-loser abort locked a compliant deposit:\n%s", out.Index, r.Summary())
+				}
+				if out.SoreLosers > 0 && !r.AllCommitted {
+					aborted++
+					// The compliant counterparties must end the aborted
+					// deal with exactly what they started with.
+					if r.AllAborted {
+						for _, p := range out.Spec.Parties {
+							if !r.Compliant[p] {
+								continue
+							}
+							for key, d := range r.FungibleDelta[p] {
+								if d != 0 {
+									t.Fatalf("deal %d: compliant %s lost %+d at %s in a sore-loser abort",
+										out.Index, p, d, key)
+								}
+							}
+						}
+					}
+				}
+			}
+			if aborted == 0 {
+				t.Fatal("every sore-loser deal still committed; the trigger has no teeth")
+			}
+			if res.Interference.SoreLoserDeals != aborted {
+				t.Fatalf("SoreLoserDeals = %d, counted %d aborted sore-loser deals",
+					res.Interference.SoreLoserDeals, aborted)
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package arena
+
+import (
+	"hash/fnv"
+
+	"xdeal/internal/chain"
+	"xdeal/internal/sim"
+)
+
+// Market is a deterministic per-token price process: each token follows
+// an independent seeded multiplicative random walk, stepped once per
+// tick of virtual time. Prices are computed lazily — Price advances the
+// token's walk to the current tick on demand — so the market adds no
+// scheduler events and costs nothing for tokens nobody watches.
+//
+// Because virtual time is monotonic and each token's walk depends only
+// on (seed, token, step count), the price at any instant is a pure
+// function of the master seed: identical across runs, worker counts,
+// and query interleavings.
+type Market struct {
+	sched *sim.Scheduler
+	seed  uint64
+	tick  sim.Duration
+	vol   float64
+	walks map[chain.Addr]*walk
+}
+
+// walk is one token's price trajectory, advanced to step.
+type walk struct {
+	rng   *sim.RNG
+	step  int64
+	price float64
+}
+
+// NewMarket creates a market on the scheduler's clock. tick is the time
+// between price steps; vol is the per-step fractional move (each step
+// multiplies or divides the price by 1+vol with equal probability).
+func NewMarket(sched *sim.Scheduler, seed uint64, tick sim.Duration, vol float64) *Market {
+	if tick <= 0 {
+		tick = 100
+	}
+	if vol < 0 {
+		vol = 0
+	}
+	return &Market{
+		sched: sched,
+		seed:  seed,
+		tick:  tick,
+		vol:   vol,
+		walks: make(map[chain.Addr]*walk),
+	}
+}
+
+// Price returns tok's current price. New tokens start at 1.0; only
+// relative drift is meaningful. Implements party.PriceOracle.
+func (m *Market) Price(tok chain.Addr) float64 {
+	w := m.walks[tok]
+	if w == nil {
+		h := fnv.New64a()
+		h.Write([]byte(tok))
+		w = &walk{rng: sim.NewRNG(m.seed ^ h.Sum64()), price: 1.0}
+		m.walks[tok] = w
+	}
+	target := int64(m.sched.Now() / m.tick)
+	for w.step < target {
+		w.step++
+		if w.rng.Bool(0.5) {
+			w.price *= 1 + m.vol
+		} else {
+			w.price /= 1 + m.vol
+		}
+	}
+	return w.price
+}

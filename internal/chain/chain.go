@@ -148,6 +148,12 @@ type Config struct {
 	// outage.
 	OutageFrom  sim.Time
 	OutageUntil sim.Time
+	// MaxBlockTxs caps how many transactions one block includes; excess
+	// transactions stay queued for later blocks in arrival order. Zero
+	// means unlimited. Capacity is what makes chains shared by many
+	// deals genuinely contend: under load, a transaction's confirmation
+	// latency grows with the length of the queue in front of it.
+	MaxBlockTxs int
 }
 
 // Chain is a simulated blockchain.
@@ -163,8 +169,23 @@ type Chain struct {
 	contracts map[Addr]Contract
 	subs      map[int]func(Event)
 	nextSub   int
+	mpSubs    map[int]func(PendingTx)
+	nextMpSub int
 	blockSet  bool // a block production event is scheduled
 	receipts  []*Receipt
+}
+
+// PendingTx is the publicly gossiped view of a transaction that has been
+// published but not yet executed. Mempool observers (front-running
+// parties, fee estimators) see the sender, target, and full call data —
+// exactly what a real public mempool leaks.
+type PendingTx struct {
+	Chain    ID
+	Sender   Addr
+	Contract Addr
+	Method   string
+	Label    string
+	Args     any
 }
 
 // New creates a chain attached to the scheduler. The RNG is forked from
@@ -186,6 +207,7 @@ func New(cfg Config, sched *sim.Scheduler, rng *sim.RNG) *Chain {
 		meter:     gas.NewMeter(cfg.Schedule),
 		contracts: make(map[Addr]Contract),
 		subs:      make(map[int]func(Event)),
+		mpSubs:    make(map[int]func(PendingTx)),
 	}
 }
 
@@ -237,7 +259,10 @@ func (c *Chain) Subscribe(fn func(Event)) func() {
 }
 
 // Submit publishes a transaction. It reaches the mempool after the submit
-// delay and executes in the next block at or after its arrival.
+// delay and executes in the next block at or after its arrival. Mempool
+// observers see the transaction's gossip as soon as it is published, each
+// after its own notification delay — so a fast observer can react to a
+// pending transaction before it has even reached the mempool.
 func (c *Chain) Submit(tx *Tx) {
 	tx.seq = c.txSeq
 	c.txSeq++
@@ -246,6 +271,35 @@ func (c *Chain) Submit(tx *Tx) {
 		c.mempool = append(c.mempool, tx)
 		c.scheduleBlock()
 	})
+	if len(c.mpSubs) > 0 {
+		ptx := PendingTx{
+			Chain:    c.cfg.ID,
+			Sender:   tx.Sender,
+			Contract: tx.Contract,
+			Method:   tx.Method,
+			Label:    tx.Label,
+			Args:     tx.Args,
+		}
+		for id := 0; id < c.nextMpSub; id++ {
+			fn, ok := c.mpSubs[id]
+			if !ok {
+				continue
+			}
+			nd := c.cfg.Delays.NotifyDelay(c.sched.Now(), c.rng)
+			c.sched.After(nd, func() { fn(ptx) })
+		}
+	}
+}
+
+// SubscribeMempool registers a mempool observer: fn receives every
+// subsequently published transaction after the observer's notification
+// delay. The returned function unsubscribes. Observation is free (public
+// gossip); reacting costs a transaction like anything else.
+func (c *Chain) SubscribeMempool(fn func(PendingTx)) func() {
+	id := c.nextMpSub
+	c.nextMpSub++
+	c.mpSubs[id] = fn
+	return func() { delete(c.mpSubs, id) }
 }
 
 // SubmitAfter publishes a transaction after an additional sender-side
@@ -270,12 +324,18 @@ func (c *Chain) scheduleBlock() {
 	c.sched.At(next, c.produceBlock)
 }
 
-// produceBlock executes all pending transactions in arrival order,
-// appends a block, and notifies subscribers.
+// produceBlock executes pending transactions in arrival order — all of
+// them, or the first MaxBlockTxs when the block is capacity-limited —
+// appends a block, and notifies subscribers. Overflow transactions stay
+// queued for the next block.
 func (c *Chain) produceBlock() {
 	c.blockSet = false
 	txs := c.mempool
 	c.mempool = nil
+	if cap := c.cfg.MaxBlockTxs; cap > 0 && len(txs) > cap {
+		c.mempool = txs[cap:]
+		txs = txs[:cap]
+	}
 	if len(txs) == 0 {
 		return
 	}

@@ -421,3 +421,84 @@ func TestReceiptsRecordExecutionOrder(t *testing.T) {
 		t.Fatalf("last receipt result = %v, want 5", rs[4].Result)
 	}
 }
+
+// TestMempoolObserversSeePendingTxs: mempool subscribers receive the
+// gossip of every published transaction — full call data, before
+// execution — and unsubscribing stops delivery. This is the observation
+// channel front-running parties race on.
+func TestMempoolObserversSeePendingTxs(t *testing.T) {
+	c, sched := testChain(t)
+	c.MustDeploy("counter", &counter{})
+	var seen []PendingTx
+	var seenAt []sim.Time
+	unsub := c.SubscribeMempool(func(p PendingTx) {
+		seen = append(seen, p)
+		seenAt = append(seenAt, sched.Now())
+	})
+	c.Submit(&Tx{Sender: "alice", Contract: "counter", Method: "inc", Label: "test", Args: 42})
+	sched.Run()
+	if len(seen) != 1 {
+		t.Fatalf("observer saw %d pending txs, want 1", len(seen))
+	}
+	p := seen[0]
+	if p.Chain != "testchain" || p.Sender != "alice" || p.Contract != "counter" ||
+		p.Method != "inc" || p.Label != "test" || p.Args != 42 {
+		t.Fatalf("gossip leaked wrong call data: %+v", p)
+	}
+	// The observation is gossip, not a receipt: it arrives within the
+	// notify delay of publication, before the next block boundary.
+	if seenAt[0] > 10 {
+		t.Fatalf("gossip arrived at t=%d, after block production", seenAt[0])
+	}
+	unsub()
+	c.Submit(&Tx{Sender: "bob", Contract: "counter", Method: "inc"})
+	sched.Run()
+	if len(seen) != 1 {
+		t.Fatal("unsubscribed observer still receiving gossip")
+	}
+}
+
+// TestBlockCapacityQueuesOverflow: with MaxBlockTxs set, excess
+// transactions wait for later blocks in arrival order — the congestion
+// mechanism shared arenas rely on. Unlimited chains are unaffected.
+func TestBlockCapacityQueuesOverflow(t *testing.T) {
+	sched := sim.NewScheduler()
+	c := New(Config{
+		ID:            "capped",
+		BlockInterval: 10,
+		Delays:        SyncPolicy{Min: 1, Max: 1},
+		Schedule:      gas.DefaultSchedule(),
+		MaxBlockTxs:   2,
+	}, sched, sim.NewRNG(1))
+	ct := &counter{}
+	c.MustDeploy("counter", ct)
+	for i := 0; i < 5; i++ {
+		c.Submit(&Tx{Sender: Addr(string(rune('a' + i))), Contract: "counter", Method: "inc"})
+	}
+	sched.Run()
+	if ct.n != 5 {
+		t.Fatalf("executed %d of 5 capped txs", ct.n)
+	}
+	rs := c.Receipts()
+	if len(rs) != 5 {
+		t.Fatalf("%d receipts, want 5", len(rs))
+	}
+	perBlock := make(map[uint64]int)
+	for i, r := range rs {
+		perBlock[r.Height]++
+		if i > 0 && rs[i-1].Height > r.Height {
+			t.Fatal("receipts out of block order")
+		}
+		if want := Addr(string(rune('a' + i))); r.Tx.Sender != want {
+			t.Fatalf("receipt %d from %s, want %s: capacity broke arrival order", i, r.Tx.Sender, want)
+		}
+	}
+	if len(perBlock) < 3 {
+		t.Fatalf("5 txs at cap 2 fit in %d blocks; capacity not enforced", len(perBlock))
+	}
+	for h, n := range perBlock {
+		if n > 2 {
+			t.Fatalf("block %d included %d txs over cap 2", h, n)
+		}
+	}
+}

@@ -68,6 +68,17 @@ type Options struct {
 	Outages map[chain.ID]Outage
 	// CBCOutage is a DoS window against the CBC itself (§9).
 	CBCOutage Outage
+	// MaxBlockTxs caps per-block transaction capacity on every chain
+	// (0 = unlimited). Capacity is what makes shared chains contend.
+	MaxBlockTxs int
+	// LabelPrefix prefixes every transaction label this deal emits
+	// (setup and party phases), keeping gas attributable per deal when
+	// many deals share one substrate's chains. Empty outside arenas.
+	LabelPrefix string
+	// Adaptive wires reactive adversary strategies (sore-loser,
+	// front-runner) to arena-level observable state: a market price
+	// oracle and metric callbacks. Nil outside arena runs.
+	Adaptive *party.AdaptiveHooks
 }
 
 // Outage is a window during which a chain produces no blocks.
@@ -75,7 +86,60 @@ type Outage struct {
 	From, Until sim.Time
 }
 
-// World is a fully wired simulation of one deal.
+// Substrate is the shared execution fabric deals run on: one scheduler,
+// a set of chains, and the token and escrow contracts deployed on them.
+// Build creates a private substrate per deal — the classic isolated
+// world. The arena creates one substrate and builds many deals onto it,
+// so their transactions compete for the same mempools and block space
+// and their escrows coexist on the same contracts (the escrow Book and
+// the timelock vote ledger are keyed by deal id, so contract state stays
+// per-deal while congestion is shared).
+type Substrate struct {
+	Sched  *sim.Scheduler
+	Chains map[chain.ID]*chain.Chain
+
+	cfg       SubstrateConfig
+	rng       *sim.RNG
+	pubs      map[string]ed25519.PublicKey
+	fungibles map[string]*token.Fungible
+	nfts      map[string]*token.NFT
+	managers  map[string]EscrowInspector
+	protocols map[string]party.Protocol // escrow key -> manager's protocol
+}
+
+// SubstrateConfig parameterizes the shared fabric. Chains are created
+// lazily as deals reference them, all with this configuration.
+type SubstrateConfig struct {
+	Seed          uint64
+	BlockInterval sim.Duration
+	Delays        chain.DelayPolicy
+	MaxBlockTxs   int
+	Outages       map[chain.ID]Outage
+}
+
+// NewSubstrate creates an empty shared world.
+func NewSubstrate(cfg SubstrateConfig) *Substrate {
+	if cfg.BlockInterval <= 0 {
+		cfg.BlockInterval = 10
+	}
+	if cfg.Delays == nil {
+		cfg.Delays = chain.SyncPolicy{Min: 1, Max: 5}
+	}
+	return &Substrate{
+		Sched:     sim.NewScheduler(),
+		Chains:    make(map[chain.ID]*chain.Chain),
+		cfg:       cfg,
+		rng:       sim.NewRNG(cfg.Seed ^ 0x9e3779b9),
+		pubs:      make(map[string]ed25519.PublicKey),
+		fungibles: make(map[string]*token.Fungible),
+		nfts:      make(map[string]*token.NFT),
+		managers:  make(map[string]EscrowInspector),
+		protocols: make(map[string]party.Protocol),
+	}
+}
+
+// World is a fully wired simulation of one deal, possibly sharing its
+// substrate with other deals.
 type World struct {
 	Spec    *deal.Spec
 	Sched   *sim.Scheduler
@@ -110,9 +174,29 @@ type EscrowInspector interface {
 	ViewOf(id string) escrow.View
 }
 
-// Build constructs the world for a deal spec. The returned world is
+// Build constructs an isolated world for a deal spec: a private
+// substrate inhabited by this deal alone. The returned world is
 // quiescent: tokens minted, approvals granted, nothing started.
 func Build(spec *deal.Spec, opts Options) (*World, error) {
+	sub := NewSubstrate(SubstrateConfig{
+		Seed:          opts.Seed,
+		BlockInterval: opts.BlockInterval,
+		Delays:        opts.Delays,
+		MaxBlockTxs:   opts.MaxBlockTxs,
+		Outages:       opts.Outages,
+	})
+	return sub.BuildOn(spec, opts)
+}
+
+// BuildOn constructs the world for a deal spec on this substrate,
+// creating any chains and contracts the deal references that do not
+// exist yet and reusing those that do. Deals built onto one substrate
+// share chains (and therefore mempools and block capacity) and escrow
+// contracts; contract-level deal state stays isolated per deal id. All
+// escrows at one contract address must run the same commit protocol.
+// BuildOn drains the scheduler to settle setup transactions, so it must
+// not be called after deals have started.
+func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,10 +206,9 @@ func Build(spec *deal.Spec, opts Options) (*World, error) {
 		}
 	}
 	if opts.BlockInterval <= 0 {
-		opts.BlockInterval = 10
+		opts.BlockInterval = s.cfg.BlockInterval
 	}
-	sched := sim.NewScheduler()
-	rng := sim.NewRNG(opts.Seed ^ 0x9e3779b9)
+	sched := s.Sched
 
 	w := &World{
 		Spec:            spec,
@@ -144,48 +227,70 @@ func Build(spec *deal.Spec, opts Options) (*World, error) {
 		outcomeAt:       make(map[string]sim.Time),
 	}
 
-	// Party keys; public keys known to every chain (§3).
-	pubs := make(map[string]ed25519.PublicKey)
+	// Party keys; public keys known to every chain (§3). The substrate
+	// keyring is shared by reference with every chain, so parties of
+	// later-built deals are visible to earlier-created chains.
 	for _, p := range spec.Parties {
 		kp := sig.GenerateKeyPair(string(p))
 		w.keys[string(p)] = kp
-		pubs[string(p)] = kp.Public
+		s.pubs[string(p)] = kp.Public
 	}
 
-	delays := opts.Delays
-	if delays == nil {
-		delays = chain.SyncPolicy{Min: 1, Max: 5}
-	}
-
-	// Chains and asset/escrow contracts.
+	// Chains and asset/escrow contracts, created or reused.
 	for _, a := range spec.Escrows() {
-		c, ok := w.Chains[a.Chain]
+		c, ok := s.Chains[a.Chain]
 		if !ok {
-			outage := opts.Outages[a.Chain]
+			outage := s.cfg.Outages[a.Chain]
 			c = chain.New(chain.Config{
 				ID:            a.Chain,
-				BlockInterval: opts.BlockInterval,
-				Delays:        delays,
+				BlockInterval: s.cfg.BlockInterval,
+				Delays:        s.cfg.Delays,
 				Schedule:      gas.DefaultSchedule(),
-				Keys:          pubs,
+				Keys:          s.pubs,
 				OutageFrom:    outage.From,
 				OutageUntil:   outage.Until,
-			}, sched, rng)
-			w.Chains[a.Chain] = c
+				MaxBlockTxs:   s.cfg.MaxBlockTxs,
+			}, sched, s.rng)
+			s.Chains[a.Chain] = c
 		}
+		w.Chains[a.Chain] = c
 		key := a.Key()
 		if a.Kind == deal.Fungible {
-			f := token.NewFungible(string(a.Token), "mint-authority")
+			f := s.fungibles[key]
+			if f == nil {
+				f = token.NewFungible(string(a.Token), "mint-authority")
+				if c.Contract(a.Token) == nil {
+					c.MustDeploy(a.Token, f)
+				} else if existing, ok := c.Contract(a.Token).(*token.Fungible); ok {
+					f = existing
+				} else {
+					return nil, fmt.Errorf("engine: %s on %s is not a fungible token contract", a.Token, a.Chain)
+				}
+				s.fungibles[key] = f
+			}
 			w.Fungibles[key] = f
-			if c.Contract(a.Token) == nil {
-				c.MustDeploy(a.Token, f)
-			}
 		} else {
-			n := token.NewNFT(string(a.Token), "mint-authority")
-			w.NFTs[key] = n
-			if c.Contract(a.Token) == nil {
-				c.MustDeploy(a.Token, n)
+			n := s.nfts[key]
+			if n == nil {
+				n = token.NewNFT(string(a.Token), "mint-authority")
+				if c.Contract(a.Token) == nil {
+					c.MustDeploy(a.Token, n)
+				} else if existing, ok := c.Contract(a.Token).(*token.NFT); ok {
+					n = existing
+				} else {
+					return nil, fmt.Errorf("engine: %s on %s is not an NFT contract", a.Token, a.Chain)
+				}
+				s.nfts[key] = n
 			}
+			w.NFTs[key] = n
+		}
+		if mgr := s.managers[key]; mgr != nil {
+			if s.protocols[key] != opts.Protocol {
+				return nil, fmt.Errorf("engine: escrow %s already managed under protocol %s, deal %s wants %s",
+					key, s.protocols[key], spec.ID, opts.Protocol)
+			}
+			w.Managers[key] = mgr
+			continue
 		}
 		book := escrow.NewBook(a.Token, a.Kind)
 		var mgr EscrowInspector
@@ -196,15 +301,20 @@ func Build(spec *deal.Spec, opts Options) (*World, error) {
 		} else {
 			mgr = cbc.NewManager(book)
 		}
+		s.managers[key] = mgr
+		s.protocols[key] = opts.Protocol
 		w.Managers[key] = mgr
-		c.MustDeploy(a.Escrow, mgr)
+		if err := c.Deploy(a.Escrow, mgr); err != nil {
+			return nil, err
+		}
 	}
 
-	// CBC service.
+	// CBC service: one per deal, even on a shared substrate (the paper's
+	// CBC orders one deal's votes; arena deals each bring their own).
 	if opts.Protocol == party.ProtoCBC {
 		cbcDelays := opts.CBCDelays
 		if cbcDelays == nil {
-			cbcDelays = delays
+			cbcDelays = s.cfg.Delays
 		}
 		f := opts.F
 		if f <= 0 {
@@ -218,7 +328,7 @@ func Build(spec *deal.Spec, opts Options) (*World, error) {
 			Censor:        opts.Censor,
 			OutageFrom:    opts.CBCOutage.From,
 			OutageUntil:   opts.CBCOutage.Until,
-		}, sched, rng)
+		}, sched, s.rng)
 	}
 
 	// Fund parties: each receives exactly its escrow obligations.
@@ -258,13 +368,15 @@ func Build(spec *deal.Spec, opts Options) (*World, error) {
 	for i, addr := range spec.Parties {
 		addr := addr
 		cfg := party.Config{
-			Spec:     spec,
-			Protocol: opts.Protocol,
-			Chains:   w.Chains,
-			Sched:    sched,
-			Keys:     w.keys[string(addr)],
-			Behavior: opts.Behaviors[addr],
-			Patience: patience,
+			Spec:        spec,
+			Protocol:    opts.Protocol,
+			Chains:      w.Chains,
+			Sched:       sched,
+			Keys:        w.keys[string(addr)],
+			Behavior:    opts.Behaviors[addr],
+			Patience:    patience,
+			LabelPrefix: opts.LabelPrefix,
+			Adaptive:    opts.Adaptive,
 			OnValidated: func(p chain.Addr, at sim.Time) {
 				w.validatedAt[p] = at
 			},
@@ -283,26 +395,64 @@ func Build(spec *deal.Spec, opts Options) (*World, error) {
 
 // fund mints each party's obligations and grants escrow operator rights.
 func (w *World) fund() {
+	label := w.opts.LabelPrefix + LabelSetup
 	for _, p := range w.Spec.Parties {
 		for _, ob := range p2obligations(w.Spec, p) {
 			a := ob.Asset
 			c := w.Chains[a.Chain]
 			if a.Kind == deal.Fungible {
 				c.Submit(&chain.Tx{Sender: "mint-authority", Contract: a.Token,
-					Method: token.MethodMint, Label: "setup",
+					Method: token.MethodMint, Label: label,
 					Args: token.MintArgs{To: p, Amount: ob.Amount}})
 			} else {
 				for _, id := range ob.Tokens {
 					c.Submit(&chain.Tx{Sender: "mint-authority", Contract: a.Token,
-						Method: token.MethodMint, Label: "setup",
+						Method: token.MethodMint, Label: label,
 						Args: token.MintArgs{To: p, Token: id}})
 				}
 			}
 			c.Submit(&chain.Tx{Sender: p, Contract: a.Token,
-				Method: token.MethodApprove, Label: "setup",
+				Method: token.MethodApprove, Label: label,
 				Args: token.ApproveArgs{Operator: a.Escrow, Allowed: true}})
 		}
 	}
+}
+
+// LabelSetup tags world-construction transactions (minting, approvals).
+const LabelSetup = "setup"
+
+// dealLabels are the transaction labels a deal's activity runs under.
+var dealLabels = []string{
+	LabelSetup, party.LabelEscrow, party.LabelTransfer, party.LabelCommit, party.LabelAbort,
+}
+
+// DealGas returns the gas attributable to this deal. On a private
+// substrate that is every chain's whole meter plus the CBC's — exactly
+// Gas.Used(). On a shared substrate, where chain meters mix many
+// deals, the deal's own transactions are identified by its label
+// prefix instead; its CBC (always private to the deal) is added whole,
+// matching the isolated-mode convention that CBCGas is a breakdown of
+// the total, not an addition to it.
+func (w *World) DealGas() uint64 {
+	if w.opts.LabelPrefix == "" {
+		return w.GasMerged().Used()
+	}
+	var g uint64
+	ids := make([]string, 0, len(w.Chains))
+	for id := range w.Chains {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		m := w.Chains[chain.ID(id)].Meter()
+		for _, label := range dealLabels {
+			g += m.UsedByLabel(w.opts.LabelPrefix + label)
+		}
+	}
+	if w.CBC != nil {
+		g += w.CBC.Meter().Used()
+	}
+	return g
 }
 
 func p2obligations(s *deal.Spec, p chain.Addr) []deal.Obligation {
@@ -333,10 +483,12 @@ func (w *World) observe(ev chain.Event) {
 	}
 }
 
-// Run executes the deal: the clearing service broadcasts the spec at the
-// current time (§4.1), parties start on receipt, and the simulation
-// drains (or runs to the configured limit). Returns the evaluated result.
-func (w *World) Run() *Result {
+// Start announces the deal through the clearing service at the current
+// time (§4.1) without driving the simulation: parties begin on receipt,
+// but no events run until the caller drains the scheduler. Callers
+// running several deals on one substrate schedule each deal's Start and
+// drain once; single-deal callers use Run.
+func (w *World) Start() {
 	w.startAt = w.Sched.Now()
 	svc := clearing.New(w.Sched)
 	// The engine validates specs at Build time and deliberately permits
@@ -358,6 +510,17 @@ func (w *World) Run() *Result {
 			w.Sched.After(sim.Duration(i)*w.opts.BlockInterval*3, w.CBC.Reconfigure)
 		}
 	}
+}
+
+// Evaluate computes the deal's result. Call once the scheduler has
+// drained (or hit the caller's run limit); Run does this for you.
+func (w *World) Evaluate() *Result { return w.evaluate() }
+
+// Run executes the deal: the clearing service broadcasts the spec at the
+// current time (§4.1), parties start on receipt, and the simulation
+// drains (or runs to the configured limit). Returns the evaluated result.
+func (w *World) Run() *Result {
+	w.Start()
 	if w.opts.RunLimit > 0 {
 		w.Sched.RunUntil(w.opts.RunLimit)
 	} else {

@@ -50,6 +50,10 @@ type Result struct {
 
 	Phases PhaseTimes
 	Gas    *gas.Meter
+	// DealGas is the gas attributable to this deal alone: identical to
+	// Gas.Used() in a private world, label-filtered on shared substrates
+	// where Gas mixes every cohabiting deal's activity.
+	DealGas uint64
 	// CBCGas is the certified blockchain's own bookkeeping cost.
 	CBCGas uint64
 	// EndedAt is the simulation time when the run drained.
@@ -66,6 +70,7 @@ func (w *World) evaluate() *Result {
 		FungibleDelta:    make(map[chain.Addr]map[string]int64),
 		FinalTokenOwners: make(map[string]map[string]chain.Addr),
 		Gas:              w.GasMerged(),
+		DealGas:          w.DealGas(),
 		EndedAt:          w.Sched.Now(),
 	}
 	if w.CBC != nil {

@@ -1,0 +1,237 @@
+package fleet
+
+import (
+	"fmt"
+
+	"xdeal/internal/arena"
+	"xdeal/internal/sim"
+)
+
+// ArenaOptions configures arena-mode sweeps: the population is split
+// into shared worlds of DealsPerArena deals each, every arena runs as
+// one single-threaded simulation, and arenas parallelize across the
+// worker pool. The aggregate report gains Interference metrics.
+type ArenaOptions struct {
+	// DealsPerArena is the number of deals sharing one world; defaults
+	// to 25. Bigger arenas mean more contention per chain.
+	DealsPerArena int
+	// Chains is the number of shared chains per arena; defaults to 4.
+	Chains int
+	// Volatility is the market's per-tick fractional price move
+	// (default 0.02); it arms the sore-loser adversaries.
+	Volatility float64
+	// MaxBlockTxs caps per-block capacity on the shared chains
+	// (default 8) — the contention mechanism.
+	MaxBlockTxs int
+	// Baselines re-runs each deal alone to measure contention-induced
+	// decision-latency inflation (one extra isolated run per deal).
+	Baselines bool
+}
+
+func (o *ArenaOptions) defaults() error {
+	if o.DealsPerArena < 0 {
+		return fmt.Errorf("fleet: negative deals-per-arena %d", o.DealsPerArena)
+	}
+	if o.Chains < 0 {
+		return fmt.Errorf("fleet: negative chain count %d", o.Chains)
+	}
+	if o.Volatility < 0 {
+		return fmt.Errorf("fleet: negative volatility %v", o.Volatility)
+	}
+	if o.MaxBlockTxs < 0 {
+		return fmt.Errorf("fleet: negative block capacity %d", o.MaxBlockTxs)
+	}
+	if o.DealsPerArena == 0 {
+		o.DealsPerArena = 25
+	}
+	if o.Chains == 0 {
+		o.Chains = 4
+	}
+	return nil
+}
+
+// arenaProtocol maps the generator's protocol mix onto the arena's
+// single-protocol worlds: all deals at one escrow contract must share
+// commit machinery, so "mixed" alternates whole arenas between the two
+// protocols instead of mixing within one.
+func arenaProtocol(mix string, arenaIdx int) (string, error) {
+	switch mix {
+	case "timelock", "cbc":
+		return mix, nil
+	case "", "mixed":
+		if arenaIdx%2 == 1 {
+			return "cbc", nil
+		}
+		return "timelock", nil
+	default:
+		return "", fmt.Errorf("fleet: unknown protocol %q (want timelock, cbc, or mixed)", mix)
+	}
+}
+
+// ArenaPopulation synthesizes the population of arena a: count deals
+// sharing ao.Chains chains, with this generator's adversary rate and
+// size cap. Pure in (generator options, a), so any flagged deal can be
+// regenerated for replay from its printed index alone.
+func (g *Generator) ArenaPopulation(a, count int, ao ArenaOptions) ([]arena.DealSetup, error) {
+	if err := ao.defaults(); err != nil {
+		return nil, err
+	}
+	return arena.NewPopulation(g.arenaPopOptions(a, count, ao))
+}
+
+func (g *Generator) arenaPopOptions(a, count int, ao ArenaOptions) arena.PopOptions {
+	return arena.PopOptions{
+		Seed:          sim.Mix64(g.opts.Seed ^ sim.Mix64(uint64(a)+0x51ed270b941a9e37)),
+		Deals:         count,
+		Chains:        ao.Chains,
+		MaxParties:    g.opts.MaxParties,
+		AdversaryRate: g.opts.AdversaryRate,
+	}
+}
+
+// arenaRunOptions assembles one arena's world options.
+func arenaRunOptions(gen GenOptions, ao ArenaOptions, arenaIdx int) (arena.Options, error) {
+	proto, err := arenaProtocol(gen.Protocol, arenaIdx)
+	if err != nil {
+		return arena.Options{}, err
+	}
+	return arena.Options{
+		Seed:        sim.Mix64(gen.Seed ^ sim.Mix64(uint64(arenaIdx)+0x7fb5d329728ea185)),
+		Protocol:    proto,
+		Volatility:  ao.Volatility,
+		MaxBlockTxs: ao.MaxBlockTxs,
+		Baselines:   ao.Baselines,
+	}, nil
+}
+
+// runArena synthesizes and executes arena a of a totalDeals population.
+// Both the sweep and the replay path go through here, so a flagged deal
+// is guaranteed to replay inside the identical world.
+func runArena(gen *Generator, genOpts GenOptions, ao ArenaOptions, a, totalDeals int) (*arena.Result, error) {
+	count := ao.DealsPerArena
+	if rest := totalDeals - a*ao.DealsPerArena; rest < count {
+		count = rest
+	}
+	pop, err := gen.ArenaPopulation(a, count, ao)
+	if err != nil {
+		return nil, err
+	}
+	ropts, err := arenaRunOptions(genOpts, ao, a)
+	if err != nil {
+		return nil, err
+	}
+	return arena.Run(ropts, pop)
+}
+
+// sweepArenas executes an arena-mode sweep: ceil(Deals/DealsPerArena)
+// shared worlds across the worker pool, folded into one report in arena
+// order. Each arena is a deterministic single-threaded simulation, so
+// the report never depends on the worker count.
+func sweepArenas(opts Options) (*Report, error) {
+	ao := *opts.Arena
+	if err := ao.defaults(); err != nil {
+		return nil, err
+	}
+	gen, err := NewGenerator(opts.Gen)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := arenaProtocol(opts.Gen.Protocol, 0); err != nil {
+		return nil, err
+	}
+	nArenas := (opts.Deals + ao.DealsPerArena - 1) / ao.DealsPerArena
+	results := make([]*arena.Result, nArenas)
+	runErr := Pool{Workers: opts.Workers}.Map(nArenas, func(a int) error {
+		res, err := runArena(gen, opts.Gen, ao, a, opts.Deals)
+		if err != nil {
+			return err
+		}
+		results[a] = res
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	agg := NewAggregator()
+	inter := &Interference{Arenas: nArenas, Chains: ao.Chains}
+	var inflation Sketch
+	for a, res := range results {
+		proto, _ := arenaProtocol(opts.Gen.Protocol, a)
+		for _, out := range res.Outcomes {
+			agg.Add(arenaRecord(a*ao.DealsPerArena+out.Index, proto, out))
+		}
+		inter.SoreLoserTriggers += res.Interference.SoreLoserTriggers
+		inter.SoreLoserDeals += res.Interference.SoreLoserDeals
+		inter.SoreLoserLoss += res.Interference.SoreLoserLoss
+		inter.FrontRunAttempts += res.Interference.FrontRunAttempts
+		inter.FrontRunWins += res.Interference.FrontRunWins
+		for _, x := range res.Interference.InflationSamples {
+			inflation.Add(x)
+		}
+	}
+	rep := agg.Report()
+	inter.LatencyInflation = inflation.Dist()
+	rep.Interference = inter
+	return rep, nil
+}
+
+// ReplayArenaDeal re-runs the arena containing population index under
+// the same options a sweep used and returns that deal's outcome. The
+// arena is a pure function of (options, arena index), so the replay is
+// bit-identical to the run that flagged the deal.
+func ReplayArenaDeal(opts Options, index int) (*arena.DealOutcome, error) {
+	if opts.Arena == nil {
+		return nil, fmt.Errorf("fleet: ReplayArenaDeal without arena options")
+	}
+	ao := *opts.Arena
+	if err := ao.defaults(); err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= opts.Deals {
+		return nil, fmt.Errorf("fleet: deal index %d outside population [0, %d)", index, opts.Deals)
+	}
+	gen, err := NewGenerator(opts.Gen)
+	if err != nil {
+		return nil, err
+	}
+	a := index / ao.DealsPerArena
+	res, err := runArena(gen, opts.Gen, ao, a, opts.Deals)
+	if err != nil {
+		return nil, err
+	}
+	out := res.Outcomes[index-a*ao.DealsPerArena]
+	return &out, nil
+}
+
+// arenaRecord converts one arena deal outcome into the fleet's
+// aggregation currency. Index is population-global so a flagged deal
+// maps straight back to (arena, deal) for replay; gas is the deal's
+// label-attributed share of the shared chains.
+func arenaRecord(globalIndex int, protocol string, out arena.DealOutcome) Record {
+	r := out.Result
+	return Record{
+		Index:        globalIndex,
+		Seed:         out.Seed,
+		SpecID:       out.Spec.ID,
+		Shape:        out.Shape,
+		Protocol:     protocol,
+		Parties:      len(out.Spec.Parties),
+		Escrows:      len(out.Spec.Escrows()),
+		Transfers:    len(out.Spec.Transfers),
+		Adversaries:  out.Adversaries,
+		Sequenceable: out.Sequenceable,
+
+		Committed: r.AllCommitted,
+		Aborted:   r.AllAborted,
+		Atomic:    r.Atomic(),
+
+		SafetyViolations:   r.SafetyViolations,
+		LivenessViolations: r.LivenessViolations,
+
+		Gas:       r.DealGas,
+		CBCGas:    r.CBCGas,
+		DeltaTime: out.ArenaDelta,
+		EndedAt:   int64(r.EndedAt),
+	}
+}

@@ -15,6 +15,11 @@ type Options struct {
 	Workers int
 	// Gen configures scenario synthesis.
 	Gen GenOptions
+	// Arena, when non-nil, switches the sweep to arena mode: instead of
+	// isolated per-deal worlds, deals run in shared worlds of
+	// Arena.DealsPerArena deals each, contending for the same chains
+	// against adaptive adversaries (see internal/arena).
+	Arena *ArenaOptions
 }
 
 // Record is the trimmed, aggregation-ready outcome of one deal run.
@@ -109,16 +114,52 @@ func RunJobs(jobs []Job, workers int) []Record {
 
 // Sweep synthesizes opts.Deals scenarios from the master seed, executes
 // them across the worker pool, and aggregates population statistics.
-// The report depends only on (Gen, Deals) — never on Workers.
+// The report depends only on (Gen, Deals, Arena) — never on Workers.
+//
+// Execution streams: jobs run in bounded chunks and each record folds
+// into the aggregate the moment its chunk completes, so memory is
+// constant in the population size (a chunk of records, not all of
+// them). Records fold in index order, which is why the streamed report
+// is byte-identical to Aggregate over RunJobs at any worker count.
 func Sweep(opts Options) (*Report, error) {
 	if opts.Deals < 0 {
 		return nil, fmt.Errorf("fleet: negative deal count %d", opts.Deals)
+	}
+	if opts.Arena != nil {
+		return sweepArenas(opts)
 	}
 	gen, err := NewGenerator(opts.Gen)
 	if err != nil {
 		return nil, err
 	}
-	jobs := gen.Jobs(opts.Deals)
-	records := RunJobs(jobs, opts.Workers)
-	return Aggregate(records), nil
+	agg := NewAggregator()
+	Stream(gen, opts.Deals, opts.Workers, agg)
+	return agg.Report(), nil
+}
+
+// Stream synthesizes and executes jobs 0..n-1 from the generator in
+// bounded chunks across the worker pool, folding each record into agg
+// in index order — the streaming sibling of Jobs+RunJobs for callers
+// that never need the record slice. Memory is constant in n (one chunk
+// of jobs and records at a time); the fold is identical to
+// Aggregate(RunJobs(gen.Jobs(n), workers)) at any worker count.
+func Stream(gen *Generator, n, workers int, agg *Aggregator) {
+	chunk := Pool{Workers: workers}.Size(n) * 8
+	if chunk < 64 {
+		chunk = 64
+	}
+	jobs := make([]Job, 0, chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		jobs = jobs[:0]
+		for i := lo; i < hi; i++ {
+			jobs = append(jobs, gen.Job(i))
+		}
+		for _, rec := range RunJobs(jobs, workers) {
+			agg.Add(rec)
+		}
+	}
 }

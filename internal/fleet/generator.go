@@ -85,17 +85,9 @@ func NewGenerator(opts GenOptions) (*Generator, error) {
 	return &Generator{opts: opts}, nil
 }
 
-// mix64 is the SplitMix64 finalizer, used to derive independent per-job
-// seeds from (master seed, index).
-func mix64(x uint64) uint64 {
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// jobSeed derives the seed of job i.
+// jobSeed derives the seed of job i via the shared SplitMix64 finalizer.
 func (g *Generator) jobSeed(i int) uint64 {
-	return mix64(g.opts.Seed ^ mix64(uint64(i)+0x9e3779b97f4a7c15))
+	return sim.Mix64(g.opts.Seed ^ sim.Mix64(uint64(i)+0x9e3779b97f4a7c15))
 }
 
 // Job synthesizes scenario i. The same (master seed, i) always yields

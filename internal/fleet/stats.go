@@ -55,6 +55,81 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[rank]
 }
 
+// sketchGamma is the Sketch's log-bucket base: values within the same
+// bucket differ by at most 2%, which bounds the percentile error.
+const sketchGamma = 1.02
+
+// Sketch is a constant-memory streaming summary of a sample
+// distribution: count, sum, min and max are exact; percentiles come
+// from a log-bucketed histogram at ~2% relative resolution (a DDSketch
+// in miniature). Adding a sample is O(1) and the bucket count is
+// bounded by the dynamic range of the data, not the sample count — so
+// populations of millions of deals aggregate in constant memory. The
+// summary is order-independent, so streaming and batch folds agree.
+type Sketch struct {
+	count    int
+	sum      float64
+	min, max float64
+	nonpos   int // samples ≤ 0, kept out of the log buckets
+	buckets  map[int]int
+}
+
+// Add folds one sample into the sketch.
+func (s *Sketch) Add(v float64) {
+	if s.count == 0 || v < s.min {
+		s.min = v
+	}
+	if s.count == 0 || v > s.max {
+		s.max = v
+	}
+	s.count++
+	s.sum += v
+	if v <= 0 {
+		s.nonpos++
+		return
+	}
+	if s.buckets == nil {
+		s.buckets = make(map[int]int)
+	}
+	s.buckets[int(math.Floor(math.Log(v)/math.Log(sketchGamma)))]++
+}
+
+// Dist summarizes the sketch. Min, max and mean are exact; the
+// percentiles are bucket representatives, within 2% of the true value.
+func (s *Sketch) Dist() Dist {
+	d := Dist{Count: s.count}
+	if s.count == 0 {
+		return d
+	}
+	d.Min, d.Max = s.min, s.max
+	d.Mean = s.sum / float64(s.count)
+	idxs := make([]int, 0, len(s.buckets))
+	for i := range s.buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	quantile := func(p float64) float64 {
+		rank := int(math.Ceil(p * float64(s.count)))
+		if rank <= s.nonpos {
+			return 0 // non-positive samples sort below every bucket
+		}
+		seen := s.nonpos
+		for _, i := range idxs {
+			seen += s.buckets[i]
+			if seen >= rank {
+				// Geometric bucket midpoint, clamped to the observed range.
+				v := math.Pow(sketchGamma, float64(i)+0.5)
+				return math.Min(math.Max(v, s.min), s.max)
+			}
+		}
+		return s.max
+	}
+	d.P50 = quantile(0.50)
+	d.P90 = quantile(0.90)
+	d.P99 = quantile(0.99)
+	return d
+}
+
 // Violation flags one property violation with everything needed to
 // replay the offending run.
 type Violation struct {
@@ -112,8 +187,9 @@ func (c Counts) AbortRate() float64 {
 }
 
 // Report aggregates a fleet sweep into population statistics. It is a
-// pure function of the records, so it is identical for every worker
-// count that produced them.
+// pure function of the records folded into it, in fold order — so it is
+// identical for every worker count that produced them, and identical
+// between batch (Aggregate) and streaming (Aggregator) aggregation.
 type Report struct {
 	Total Counts `json:"total"`
 	// FullyCompliant covers runs with no adversaries and no outages —
@@ -125,54 +201,115 @@ type Report struct {
 	ByShape    map[string]*Counts `json:"by_shape"`
 	ByProtocol map[string]*Counts `json:"by_protocol"`
 
-	// Gas and DeltaTime summarize total gas and decision latency (in Δ
-	// units) over finalized runs.
+	// Gas and DeltaTime summarize per-deal gas and decision latency (in
+	// Δ units) over finalized runs. Percentiles are sketch estimates
+	// (within 2%); count, min, max and mean are exact.
 	Gas       Dist `json:"gas"`
 	DeltaTime Dist `json:"delta_time"`
 
-	// Violations flags every Property 1–3 violation with its seed.
-	Violations []Violation `json:"violations,omitempty"`
+	// Violations flags every Property 1–3 violation with its seed. A
+	// pathological population is truncated at maxViolations flags;
+	// ViolationsTruncated counts the overflow (still a dirty report).
+	Violations          []Violation `json:"violations,omitempty"`
+	ViolationsTruncated int         `json:"violations_truncated,omitempty"`
+
+	// Interference carries the arena sweep's cross-deal contention
+	// metrics; nil outside arena mode.
+	Interference *Interference `json:"interference,omitempty"`
+
+	// ReplayCommand, when set by the caller, is a printf format with one
+	// %d verb for a deal index; Fprint uses it to print a ready-to-paste
+	// replay command next to each flagged violation. Not serialized.
+	ReplayCommand string `json:"-"`
 }
 
-// Aggregate folds records into a report.
-func Aggregate(records []Record) *Report {
-	rep := &Report{
+// Interference summarizes cross-deal contention in an arena sweep: how
+// much sharing chains inflated decision latencies relative to each deal
+// running alone, and what the adaptive adversaries did and cost.
+type Interference struct {
+	Arenas int `json:"arenas"`
+	Chains int `json:"chains"`
+	// LatencyInflation distributes per-deal arena/solo decision-latency
+	// ratios; only deals that decided in both worlds contribute.
+	LatencyInflation Dist `json:"latency_inflation"`
+	// Sore-loser damage: triggers (parties that backed out on a price
+	// move), deals that consequently failed to commit, and the fungible
+	// value compliant counterparties had locked in them for nothing.
+	SoreLoserTriggers int    `json:"sore_loser_triggers"`
+	SoreLoserDeals    int    `json:"sore_loser_deals"`
+	SoreLoserLoss     uint64 `json:"sore_loser_loss"`
+	// Mempool races run and won by front-running parties.
+	FrontRunAttempts int `json:"front_run_attempts"`
+	FrontRunWins     int `json:"front_run_wins"`
+}
+
+// maxViolations bounds the violation list so even a population where
+// everything is on fire aggregates in constant memory.
+const maxViolations = 1000
+
+// Aggregator folds Records into a Report incrementally, in constant
+// memory: counters and sketches instead of sample slices. Fold order
+// defines the report (violation order), so fold in index order.
+type Aggregator struct {
+	rep        *Report
+	gas, dtime Sketch
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{rep: &Report{
 		ByShape:    make(map[string]*Counts),
 		ByProtocol: make(map[string]*Counts),
+	}}
+}
+
+// Add folds one record into the aggregate.
+func (a *Aggregator) Add(r Record) {
+	rep := a.rep
+	rep.Total.add(r)
+	if r.Adversaries == 0 && !r.Outage {
+		rep.FullyCompliant.add(r)
 	}
-	var gas, dtime []float64
+	if r.Adversaries > 0 {
+		rep.Adversarial.add(r)
+	}
+	bucket(rep.ByShape, r.Shape).add(r)
+	bucket(rep.ByProtocol, r.Protocol).add(r)
+	if r.Err == "" {
+		a.gas.Add(float64(r.Gas))
+		if r.DeltaTime > 0 {
+			a.dtime.Add(r.DeltaTime)
+		}
+	}
+	for _, v := range r.SafetyViolations {
+		rep.flag(r, "safety (P1)", v)
+	}
+	for _, v := range r.LivenessViolations {
+		rep.flag(r, "liveness (P2)", v)
+	}
+	if r.Err == "" && r.Adversaries == 0 && !r.Outage && r.Sequenceable && !r.Committed {
+		rep.flag(r, "strong liveness (P3)", "all parties compliant yet the deal did not commit")
+	}
+	if r.Err != "" {
+		rep.flag(r, "error", r.Err)
+	}
+}
+
+// Report finalizes and returns the aggregate. The aggregator may keep
+// folding afterwards; Report is cheap and repeatable.
+func (a *Aggregator) Report() *Report {
+	a.rep.Gas = a.gas.Dist()
+	a.rep.DeltaTime = a.dtime.Dist()
+	return a.rep
+}
+
+// Aggregate folds records into a report (the batch face of Aggregator).
+func Aggregate(records []Record) *Report {
+	agg := NewAggregator()
 	for _, r := range records {
-		rep.Total.add(r)
-		if r.Adversaries == 0 && !r.Outage {
-			rep.FullyCompliant.add(r)
-		}
-		if r.Adversaries > 0 {
-			rep.Adversarial.add(r)
-		}
-		bucket(rep.ByShape, r.Shape).add(r)
-		bucket(rep.ByProtocol, r.Protocol).add(r)
-		if r.Err == "" {
-			gas = append(gas, float64(r.Gas))
-			if r.DeltaTime > 0 {
-				dtime = append(dtime, r.DeltaTime)
-			}
-		}
-		for _, v := range r.SafetyViolations {
-			rep.flag(r, "safety (P1)", v)
-		}
-		for _, v := range r.LivenessViolations {
-			rep.flag(r, "liveness (P2)", v)
-		}
-		if r.Err == "" && r.Adversaries == 0 && !r.Outage && r.Sequenceable && !r.Committed {
-			rep.flag(r, "strong liveness (P3)", "all parties compliant yet the deal did not commit")
-		}
-		if r.Err != "" {
-			rep.flag(r, "error", r.Err)
-		}
+		agg.Add(r)
 	}
-	rep.Gas = NewDist(gas)
-	rep.DeltaTime = NewDist(dtime)
-	return rep
+	return agg.Report()
 }
 
 func bucket(m map[string]*Counts, key string) *Counts {
@@ -185,6 +322,10 @@ func bucket(m map[string]*Counts, key string) *Counts {
 }
 
 func (rep *Report) flag(r Record, property, detail string) {
+	if len(rep.Violations) >= maxViolations {
+		rep.ViolationsTruncated++
+		return
+	}
 	rep.Violations = append(rep.Violations, Violation{
 		Index: r.Index, Seed: r.Seed, SpecID: r.SpecID,
 		Protocol: r.Protocol, Property: property, Detail: detail,
@@ -193,7 +334,9 @@ func (rep *Report) flag(r Record, property, detail string) {
 
 // Clean reports whether the population saw no property violations and
 // no errors.
-func (rep *Report) Clean() bool { return len(rep.Violations) == 0 }
+func (rep *Report) Clean() bool {
+	return len(rep.Violations) == 0 && rep.ViolationsTruncated == 0
+}
 
 // WriteJSON renders the report as indented JSON.
 func (rep *Report) WriteJSON(w io.Writer) error {
@@ -231,13 +374,32 @@ func (rep *Report) Fprint(w io.Writer) {
 	fmt.Fprintf(tw, "decision (Δ)\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
 		rep.DeltaTime.Count, rep.DeltaTime.Min, rep.DeltaTime.Mean, rep.DeltaTime.P50,
 		rep.DeltaTime.P90, rep.DeltaTime.P99, rep.DeltaTime.Max)
+	if inf := rep.Interference; inf != nil {
+		li := inf.LatencyInflation
+		fmt.Fprintf(tw, "latency inflation (×)\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			li.Count, li.Min, li.Mean, li.P50, li.P90, li.P99, li.Max)
+	}
 	tw.Flush()
 
-	if len(rep.Violations) > 0 {
-		fmt.Fprintf(w, "\nPROPERTY VIOLATIONS (%d) — replay with the flagged seed:\n", len(rep.Violations))
+	if inf := rep.Interference; inf != nil {
+		fmt.Fprintf(w, "\ninterference (%d arenas × %d shared chains):\n", inf.Arenas, inf.Chains)
+		fmt.Fprintf(w, "  sore losers: %d triggered, %d deals killed, %d in compliant deposits locked for nothing\n",
+			inf.SoreLoserTriggers, inf.SoreLoserDeals, inf.SoreLoserLoss)
+		fmt.Fprintf(w, "  front-running: %d mempool races, %d won\n",
+			inf.FrontRunAttempts, inf.FrontRunWins)
+	}
+
+	if total := len(rep.Violations) + rep.ViolationsTruncated; total > 0 {
+		fmt.Fprintf(w, "\nPROPERTY VIOLATIONS (%d) — replay with the flagged seed:\n", total)
 		for _, v := range rep.Violations {
 			fmt.Fprintf(w, "  deal %d seed %d spec %s (%s): %s — %s\n",
 				v.Index, v.Seed, v.SpecID, v.Protocol, v.Property, v.Detail)
+			if rep.ReplayCommand != "" {
+				fmt.Fprintf(w, "    replay: "+rep.ReplayCommand+"\n", v.Index)
+			}
+		}
+		if rep.ViolationsTruncated > 0 {
+			fmt.Fprintf(w, "  ... and %d more (truncated)\n", rep.ViolationsTruncated)
 		}
 	} else {
 		fmt.Fprintf(w, "\nno safety/liveness violations among compliant parties\n")

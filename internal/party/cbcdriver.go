@@ -89,7 +89,7 @@ func (p *Party) onCBCBlock(b *cbc.Block) {
 	}
 	// Public readability: the party checks the deal's decision state.
 	if d := p.cfg.CBCHooks.CBC.Deal(p.cfg.Spec.ID); d != nil && d.Status != escrow.StatusActive {
-		p.claimOutcome(d.Status)
+		p.claimOutcome(d.Status, false)
 	}
 }
 
@@ -185,8 +185,10 @@ func (p *Party) scheduleGiveUp() {
 // assets cannot stay locked when the counterparty crashes before
 // claiming — weak liveness must not depend on the recipient's
 // diligence); abort proofs go to the contracts holding its deposits (it
-// wants its refund).
-func (p *Party) claimOutcome(status escrow.Status) {
+// wants its refund). raced marks claims made to front-run an observed
+// pending proof transaction; their receipts are reported as race
+// outcomes (success = this claim finalized the escrow first).
+func (p *Party) claimOutcome(status escrow.Status, raced bool) {
 	st := p.cbcState
 	spec := p.cfg.Spec
 	method := cbc.MethodCommitProof
@@ -230,11 +232,12 @@ func (p *Party) claimOutcome(status escrow.Status) {
 		if status == escrow.StatusAborted {
 			label = LabelAbort
 		}
+		hooks := p.cfg.Adaptive
 		p.submit(a, method, label, args, func(r *chain.Receipt) {
-			if r.Err != nil {
-				// Someone else may have finalized first; that is fine.
-				return
+			if raced && hooks != nil && hooks.OnFrontRun != nil {
+				hooks.OnFrontRun(p.Addr, method, r.Err == nil)
 			}
+			// On error, someone else finalized first; that is fine.
 		})
 	}
 }

@@ -75,6 +75,33 @@ type Behavior struct {
 	// CBC-specific deviations.
 	AbortImmediately bool         // vote abort instead of commit
 	CommitThenAbort  sim.Duration // >0: rescind this soon after committing
+
+	// Adaptive deviations: strategies that react to observed market and
+	// mempool state rather than deviating on a fixed schedule. The
+	// sore loser needs a price feed, so it acts only when
+	// Config.Adaptive supplies an Oracle; front-running and griefing
+	// observe ordinary chain state and work in any world. Their metric
+	// callbacks fire only when Config.Adaptive provides them.
+
+	// SoreLoserThreshold > 0 makes the party a sore loser (Xue &
+	// Herlihy): it watches the market price of the assets it is paying
+	// out, and once one drifts up by this fraction from its price at
+	// deal start — the deal is now a bad trade for it — it backs out:
+	// no further transfers, no commit vote, an abort vote on the CBC.
+	SoreLoserThreshold float64
+	// FrontRun makes the party race observed pending transactions: it
+	// watches the mempools of its chains and, on seeing another party's
+	// protocol transaction for its deal, immediately forwards the vote
+	// or claims the outcome itself instead of waiting to observe the
+	// transaction land. Front-running keeps every protocol duty, so it
+	// stays compliant — but it perturbs who pays gas and when deals
+	// finalize, which is why the arena counts it as an adversary.
+	FrontRun bool
+	// Grief makes the party a griefing depositor: it escrows normally,
+	// then ceases all further participation the moment it observes a
+	// counterparty's deposit — maximizing how long others' assets stay
+	// locked while keeping its own refund poke.
+	Grief bool
 }
 
 // Compliant reports whether the behavior deviates in any way that can
@@ -85,7 +112,8 @@ func (b Behavior) Compliant() bool {
 	return !b.SkipEscrow && !b.SkipTransfers && !b.SkipVoting &&
 		b.CrashAt == 0 && b.OfflineFrom == 0 &&
 		!b.NoForwarding && !b.AbortImmediately && b.CommitThenAbort == 0 &&
-		!b.SkipRefundPoke && !b.CorruptInfo && b.EscrowShortfall == 0
+		!b.SkipRefundPoke && !b.CorruptInfo && b.EscrowShortfall == 0 &&
+		b.SoreLoserThreshold == 0 && !b.Grief
 }
 
 // Config wires a party to its environment.
@@ -100,8 +128,18 @@ type Config struct {
 	// commit before rescinding with an abort vote. Compliance requires
 	// Patience ≥ Δ (§6); the engine sets a comfortable default.
 	Patience sim.Duration
+	// LabelPrefix prefixes every transaction label the party emits, so
+	// gas stays attributable per deal on chains shared by many deals.
+	LabelPrefix string
 	// CBCHooks is set for ProtoCBC parties (see cbcdriver.go).
 	CBCHooks *CBCHooks
+	// Adaptive wires reactive adversary strategies to arena-level state
+	// (see adaptive.go): the market oracle the sore loser requires, and
+	// the metric callbacks all strategies report through. Usually nil
+	// outside arena runs; without it sore losers never trigger, while
+	// front-runners and griefers still act (on mempool gossip and
+	// escrow events) but go unmetered.
+	Adaptive *AdaptiveHooks
 	// OnValidated, when non-nil, is invoked when the party finishes its
 	// validation phase (engine timing metrics).
 	OnValidated func(p chain.Addr, at sim.Time)
@@ -131,6 +169,11 @@ type Party struct {
 
 	// CBC driver state (nil for timelock parties).
 	cbcState *cbcState
+
+	// Adaptive strategy state (see adaptive.go).
+	soreLoser  bool // sore-loser trigger fired: back out
+	griefed    bool // griefer trigger fired: cease duties
+	basePrices map[chain.Addr]float64
 
 	unsubs []func()
 }
@@ -174,6 +217,7 @@ func (p *Party) Start() {
 		p.cfg.Sched.At(p.cfg.Behavior.OfflineUntil, func() { p.wake() })
 	}
 	p.subscribeChains()
+	p.startAdaptive()
 	switch p.cfg.Protocol {
 	case ProtoTimelock:
 		p.startTimelock()
@@ -191,7 +235,7 @@ func (p *Party) wake() {
 	p.checkValidation()
 	if p.cfg.Protocol == ProtoCBC && p.cbcState != nil && p.cbcState.started {
 		if d := p.cfg.CBCHooks.CBC.Deal(p.cfg.Spec.ID); d != nil && d.Status != escrow.StatusActive {
-			p.claimOutcome(d.Status)
+			p.claimOutcome(d.Status, false)
 		}
 	}
 }
@@ -259,6 +303,7 @@ func (p *Party) onChainEvent(ev chain.Event) {
 		if dealOf(ev) != p.cfg.Spec.ID {
 			return
 		}
+		p.adaptiveOnEscrowEvent(ev)
 		p.tryTransfers()
 		p.checkValidation()
 	default:
@@ -307,7 +352,7 @@ func (p *Party) submit(a deal.AssetRef, method, label string, args any, onReceip
 		Contract: a.Escrow,
 		Method:   method,
 		Args:     args,
-		Label:    label,
+		Label:    p.cfg.LabelPrefix + label,
 		OnReceipt: func(r *chain.Receipt) {
 			if onReceipt != nil {
 				onReceipt(r)
@@ -318,7 +363,7 @@ func (p *Party) submit(a deal.AssetRef, method, label string, args any, onReceip
 
 // performEscrows places the party's outgoing assets in escrow.
 func (p *Party) performEscrows(info any) {
-	if p.cfg.Behavior.SkipEscrow || !p.active() {
+	if p.cfg.Behavior.SkipEscrow || !p.active() || p.backedOut() {
 		return
 	}
 	if p.cfg.Behavior.CorruptInfo {
@@ -368,7 +413,7 @@ func (p *Party) performEscrows(info any) {
 // tryTransfers submits any outgoing transfer whose tentative holdings are
 // in place. Spec order; failures re-enable retry on the next event.
 func (p *Party) tryTransfers() {
-	if p.cfg.Behavior.SkipTransfers || !p.active() {
+	if p.cfg.Behavior.SkipTransfers || !p.active() || p.backedOut() {
 		return
 	}
 	spec := p.cfg.Spec
@@ -440,7 +485,7 @@ func (p *Party) outgoingDone() bool {
 // its incoming assets are properly escrowed and the deal information is
 // correct, then votes to commit.
 func (p *Party) checkValidation() {
-	if p.validated || !p.active() {
+	if p.validated || !p.active() || p.backedOut() {
 		return
 	}
 	if p.cfg.Behavior.SkipEscrow || p.cfg.Behavior.SkipTransfers {
@@ -531,14 +576,14 @@ func (p *Party) infoSatisfactory(v escrow.View) bool {
 
 // castVotes sends the party's commit votes per protocol.
 func (p *Party) castVotes() {
-	if p.cfg.Behavior.SkipVoting || p.voted || !p.active() {
+	if p.cfg.Behavior.SkipVoting || p.voted || !p.active() || p.backedOut() {
 		return
 	}
 	p.voted = true
 	delay := p.cfg.Behavior.VoteDelay
 	if delay > 0 {
 		p.cfg.Sched.After(delay, func() {
-			if p.active() {
+			if p.active() && !p.backedOut() {
 				p.sendVotes()
 			}
 		})

@@ -81,25 +81,44 @@ func (p *Party) onTimelockEvent(ev chain.Event) {
 		return
 	}
 	for _, a := range incoming {
-		a := a
-		key := a.Key()
-		if key == seenAt {
+		if a.Key() == seenAt {
 			continue
 		}
-		if p.acceptedAt[key][data.Voter] || p.forwarded[key][data.Voter] {
-			continue
-		}
-		fw := p.forwarded[key]
-		if fw == nil {
-			fw = make(map[chain.Addr]bool)
-			p.forwarded[key] = fw
-		}
-		fw[data.Voter] = true
-		forwardedVote := data.Vote.Forward(string(p.Addr), p.cfg.Keys)
-		p.submit(a, timelock.MethodCommit, LabelCommit, timelock.CommitArgs{
-			Deal: p.cfg.Spec.ID, Vote: forwardedVote,
-		}, nil)
+		p.forwardVote(a, data.Vote, false)
 	}
+}
+
+// forwardVote extends the vote with the party's signature and submits
+// it to incoming escrow a, unless that contract already accepted (or
+// was already sent) the voter's vote. Both the compliant forwarding
+// path (reacting to accepted-vote events) and the front-runner
+// (reacting to mempool gossip) go through here; raced marks races,
+// whose receipts are reported through the adaptive hooks — success
+// means the racer's copy beat the transaction it reacted to.
+func (p *Party) forwardVote(a deal.AssetRef, vote sig.PathSig, raced bool) {
+	voter := chain.Addr(vote.Voter)
+	key := a.Key()
+	if p.acceptedAt[key][voter] || p.forwarded[key][voter] {
+		return
+	}
+	fw := p.forwarded[key]
+	if fw == nil {
+		fw = make(map[chain.Addr]bool)
+		p.forwarded[key] = fw
+	}
+	fw[voter] = true
+	var onReceipt func(*chain.Receipt)
+	if raced {
+		hooks := p.cfg.Adaptive
+		onReceipt = func(r *chain.Receipt) {
+			if hooks != nil && hooks.OnFrontRun != nil {
+				hooks.OnFrontRun(p.Addr, timelock.MethodCommit, r.Err == nil)
+			}
+		}
+	}
+	p.submit(a, timelock.MethodCommit, LabelCommit, timelock.CommitArgs{
+		Deal: p.cfg.Spec.ID, Vote: vote.Forward(string(p.Addr), p.cfg.Keys),
+	}, onReceipt)
 }
 
 // markAccepted records that an escrow contract has accepted a vote.

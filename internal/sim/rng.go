@@ -12,6 +12,16 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// Mix64 is the SplitMix64 finalizer: a bijective avalanche mix used to
+// derive independent seeds from (master seed, index) pairs. Generators
+// across the codebase share this one definition so replay seeds can
+// never drift between them.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Uint64 returns the next 64-bit value.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

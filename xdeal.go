@@ -126,13 +126,21 @@ func DenseDeal(n, m int, t0 Time, delta Duration) *Spec {
 // cmd/dealsweep for the CLI route).
 type (
 	// SweepOptions configures a randomized fleet sweep: population
-	// size, worker pool bound, and the scenario generator.
+	// size, worker pool bound, the scenario generator, and (optionally)
+	// arena mode.
 	SweepOptions = fleet.Options
 	// GenOptions configures scenario synthesis: master seed, protocol
 	// mix, adversary rate, DoS rate, deal size cap.
 	GenOptions = fleet.GenOptions
+	// ArenaOptions switches a sweep to arena mode: deals run in shared
+	// worlds — contending for the same chains, mempools, and block
+	// capacity against adaptive adversaries (sore losers, mempool
+	// front-runners, griefing depositors) — instead of isolated ones,
+	// and the report gains cross-deal interference metrics.
+	ArenaOptions = fleet.ArenaOptions
 	// SweepReport aggregates a sweep: commit/abort rates by slice, gas
-	// and Δ-time percentiles, and flagged property violations.
+	// and Δ-time percentiles, flagged property violations, and (in
+	// arena mode) interference metrics.
 	SweepReport = fleet.Report
 )
 
