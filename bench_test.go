@@ -21,8 +21,11 @@ import (
 
 	"xdeal"
 	"xdeal/internal/bft"
+	"xdeal/internal/chain"
 	"xdeal/internal/deal"
 	"xdeal/internal/engine"
+	"xdeal/internal/feemarket"
+	"xdeal/internal/fleet"
 	"xdeal/internal/gas"
 	"xdeal/internal/harness"
 	"xdeal/internal/party"
@@ -302,6 +305,78 @@ func BenchmarkHarnessSweepPooled(b *testing.B) {
 			}
 		})
 	}
+}
+
+// Fee-market benchmarks: raw block-builder throughput, FIFO vs
+// tip-ordered. The tip-ordered builder sorts the mempool at every block
+// (O(n log n) against FIFO's O(n) slice split), so this measures what
+// the ordering game costs the simulator per transaction.
+func BenchmarkBlockBuilderFIFOvsTipOrdered(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		fees *feemarket.Config
+	}{{"fifo", nil}, {"tip-ordered", &feemarket.Config{Initial: 100}}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			const txs = 2048
+			rng := sim.NewRNG(7)
+			tips := make([]uint64, txs)
+			for i := range tips {
+				tips[i] = uint64(rng.Intn(32))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sched := sim.NewScheduler()
+				c := chain.New(chain.Config{
+					ID:            "bench",
+					BlockInterval: 10,
+					Delays:        chain.SyncPolicy{Min: 1, Max: 1},
+					Schedule:      gas.DefaultSchedule(),
+					MaxBlockTxs:   64,
+					FeeMarket:     mode.fees,
+				}, sched, sim.NewRNG(1))
+				c.MustDeploy("sink", benchSink{})
+				for j := 0; j < txs; j++ {
+					c.Submit(&chain.Tx{Sender: "a", Contract: "sink", Method: "x", Label: "t", Tip: tips[j]})
+				}
+				sched.Run()
+				if len(c.Receipts()) != txs {
+					b.Fatalf("executed %d of %d", len(c.Receipts()), txs)
+				}
+			}
+			b.ReportMetric(float64(txs*b.N)/b.Elapsed().Seconds(), "txs/s")
+		})
+	}
+}
+
+// benchSink is a no-op contract for builder throughput benchmarks.
+type benchSink struct{}
+
+func (benchSink) Invoke(*chain.Env, string, any) (any, error) { return nil, nil }
+
+// Fee-market sweep benchmark: ordering-game arenas end to end, the
+// fee-bid win rate reported alongside throughput.
+func BenchmarkFeeMarketArenaSweep(b *testing.B) {
+	const deals = 48
+	var og *fleet.OrderingGames
+	for i := 0; i < b.N; i++ {
+		rep, err := xdeal.Sweep(xdeal.SweepOptions{
+			Deals:   deals,
+			Workers: 4,
+			Gen: xdeal.GenOptions{
+				Seed: 7, Protocol: "timelock", AdversaryRate: 0.3,
+				Fees: &xdeal.FeeOptions{BaseFee: 100, TipBudget: 400},
+			},
+			Arena: &xdeal.ArenaOptions{DealsPerArena: 24, Chains: 2},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		og = rep.OrderingGames
+	}
+	b.ReportMetric(float64(deals*b.N)/b.Elapsed().Seconds(), "deals/s")
+	b.ReportMetric(og.FeeBidWinRate(), "fee-bid-win-rate")
+	b.ReportMetric(og.FeePerCommit, "fee-per-commit")
 }
 
 // Substrate micro-benchmarks.

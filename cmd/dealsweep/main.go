@@ -21,10 +21,24 @@
 //	dealsweep -arena -deals 200 -chains 2 -volatility 0.05
 //	dealsweep -arena -deals 200 -seed 7 -replay 42
 //
+// Fee-market mode (-feemarket, isolated or arena) replaces FIFO block
+// inclusion with tip-ordered blocks under an EIP-1559-style base fee:
+// compliant parties escalate tips as timelock deadlines approach, the
+// front-runner slot of the adversary mix becomes a fee bidder that
+// outbids the transactions it races (capped by -tip-budget), and the
+// report gains an ordering-games block (fees burned/tipped, fee spend
+// per committed deal, plain vs fee-bid race win rates, inclusion delay
+// by tip decile).
+//
+//	dealsweep -deals 200 -seed 7 -feemarket
+//	dealsweep -arena -deals 200 -seed 7 -feemarket -base-fee 50 -tip-budget 800
+//
 // Budgets turn the sweep into a CI gate: -budget-p99-delta and
 // -budget-p99-gas fail the run (exit 1) when the population's p99
 // decision latency (in Δ units) or p99 per-deal gas exceeds the budget,
-// so performance regressions fail CI alongside property violations.
+// and -budget-fee-per-commit gates the fee-market cost of a committed
+// deal, so performance regressions fail CI alongside property
+// violations.
 //
 // The report depends only on (-seed, -deals, generator flags) — never
 // on -workers — so sweeps are reproducible; a violation flagged at
@@ -114,6 +128,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of tables")
 	replayIndex := flag.Int("replay", -1, "re-run this deal index from the sweep in full detail")
 
+	feeMarket := flag.Bool("feemarket", false, "enable per-chain fee markets: tip-ordered blocks, EIP-1559 base fee, fee-bidding front-runners")
+	baseFee := flag.Uint64("base-fee", 100, "initial base fee (feemarket mode)")
+	tipBudget := flag.Uint64("tip-budget", 400, "fee-bidding front-runner tip budget (feemarket mode)")
+
 	arenaMode := flag.Bool("arena", false, "arena mode: deals share worlds and contend for chains")
 	arenaDeals := flag.Int("arena-deals", 25, "deals per shared world (arena mode)")
 	chains := flag.Int("chains", 4, "shared chains per arena (arena mode)")
@@ -122,6 +140,7 @@ func main() {
 
 	budgetP99Delta := flag.Float64("budget-p99-delta", 0, "fail (exit 1) when p99 decision latency exceeds this many Δ (0 = off)")
 	budgetP99Gas := flag.Float64("budget-p99-gas", 0, "fail (exit 1) when p99 per-deal gas exceeds this (0 = off)")
+	budgetFeePerCommit := flag.Float64("budget-fee-per-commit", 0, "fail (exit 1) when mean fee spend per committed deal exceeds this (feemarket mode, 0 = off)")
 
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -133,12 +152,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dealsweep: -deals must be non-negative\n")
 		os.Exit(2)
 	}
+	if *budgetFeePerCommit > 0 && !*feeMarket {
+		fmt.Fprintf(os.Stderr, "dealsweep: -budget-fee-per-commit needs -feemarket\n")
+		os.Exit(2)
+	}
 	gen := fleet.GenOptions{
 		Seed:          *seed,
 		Protocol:      *protocol,
 		AdversaryRate: *adversaryRate,
 		DoSRate:       *dosRate,
 		MaxParties:    *maxParties,
+	}
+	if *feeMarket {
+		gen.Fees = &fleet.FeeOptions{BaseFee: *baseFee, TipBudget: *tipBudget}
 	}
 	opts := fleet.Options{
 		Deals:   *deals,
@@ -188,6 +214,12 @@ func main() {
 			rep.Gas.P99, *budgetP99Gas)
 		failed = true
 	}
+	if *budgetFeePerCommit > 0 && rep.OrderingGames != nil &&
+		rep.OrderingGames.FeePerCommit > *budgetFeePerCommit {
+		fmt.Fprintf(os.Stderr, "dealsweep: BUDGET BREACH: fee per committed deal %.1f exceeds budget %.1f\n",
+			rep.OrderingGames.FeePerCommit, *budgetFeePerCommit)
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -200,6 +232,9 @@ func replayCommand(opts fleet.Options) string {
 	g := opts.Gen
 	cmd := fmt.Sprintf("dealsweep -seed %d -deals %d -protocol %s -adversary-rate %v -dos-rate %v -max-parties %d",
 		g.Seed, opts.Deals, g.Protocol, g.AdversaryRate, g.DoSRate, g.MaxParties)
+	if f := g.Fees; f != nil {
+		cmd += fmt.Sprintf(" -feemarket -base-fee %d -tip-budget %d", f.BaseFee, f.TipBudget)
+	}
 	if a := opts.Arena; a != nil {
 		cmd += fmt.Sprintf(" -arena -arena-deals %d -chains %d -volatility %v",
 			a.DealsPerArena, a.Chains, a.Volatility)

@@ -20,6 +20,7 @@ import (
 
 	"xdeal/internal/chain"
 	"xdeal/internal/engine"
+	"xdeal/internal/feemarket"
 	"xdeal/internal/party"
 	"xdeal/internal/sim"
 )
@@ -48,6 +49,17 @@ type Options struct {
 	// seed, same adversaries, private market) to measure contention-
 	// induced decision-latency inflation. Costs one extra run per deal.
 	Baselines bool
+	// FeeMarket attaches an EIP-1559-style fee market to the shared
+	// chains: blocks include by priority tip instead of FIFO, compliant
+	// parties escalate tips toward their timelock deadlines, and
+	// front-running adversaries become fee bidders that outbid their
+	// victims (see Options.TipBudget). The result gains a Fees summary.
+	FeeMarket bool
+	// BaseFee is the fee market's initial base fee (default 100).
+	BaseFee uint64
+	// TipBudget caps each fee-bidding front-runner's total tip spend
+	// (default 400).
+	TipBudget uint64
 }
 
 func (o *Options) defaults() error {
@@ -73,7 +85,22 @@ func (o *Options) defaults() error {
 	if o.BlockInterval <= 0 {
 		o.BlockInterval = 10
 	}
+	if o.BaseFee == 0 {
+		o.BaseFee = 100
+	}
+	if o.TipBudget == 0 {
+		o.TipBudget = 400
+	}
 	return nil
+}
+
+// feeConfig returns the shared chains' fee-market configuration, or nil
+// when the fee market is off.
+func (o Options) feeConfig() *feemarket.Config {
+	if !o.FeeMarket {
+		return nil
+	}
+	return &feemarket.Config{Initial: o.BaseFee}
 }
 
 // DealOutcome is one deal's result inside the arena, with the
@@ -94,6 +121,10 @@ type DealOutcome struct {
 	// FrontRuns counts front-run races its parties ran.
 	SoreLosers int
 	FrontRuns  int
+
+	// Fees is the deal's fee-market spend (base fees burned plus tips
+	// paid by its transactions); zero without a fee market.
+	Fees uint64
 }
 
 // Interference aggregates the arena's cross-deal contention metrics.
@@ -107,9 +138,14 @@ type Interference struct {
 	SoreLoserDeals    int    `json:"sore_loser_deals"`
 	SoreLoserLoss     uint64 `json:"sore_loser_loss"`
 	// FrontRunAttempts / FrontRunWins count mempool races run and won
-	// (the racer's transaction executed before the one it reacted to).
+	// (the racer's transaction executed before the one it reacted to)
+	// by plain gossip racers; FeeBidAttempts / FeeBidWins count the
+	// races of fee bidders, which outbid their victims' tips. Disjoint,
+	// so the two strategies' win rates compare directly.
 	FrontRunAttempts int `json:"front_run_attempts"`
 	FrontRunWins     int `json:"front_run_wins"`
+	FeeBidAttempts   int `json:"fee_bid_attempts"`
+	FeeBidWins       int `json:"fee_bid_wins"`
 	// InflationSamples holds per-deal arena/baseline decision-latency
 	// ratios (present only when baselines ran).
 	InflationSamples []float64 `json:"-"`
@@ -119,6 +155,10 @@ type Interference struct {
 type Result struct {
 	Outcomes     []DealOutcome
 	Interference Interference
+	// Fees summarizes the shared chains' fee-market activity (burn/tip
+	// totals and per-transaction tip/queuing-delay samples); nil when
+	// the fee market is off.
+	Fees *engine.FeeSummary
 }
 
 // Run executes the population inside one shared world. The run is
@@ -137,6 +177,7 @@ func Run(opts Options, pop []DealSetup) (*Result, error) {
 		Seed:          opts.Seed,
 		BlockInterval: opts.BlockInterval,
 		MaxBlockTxs:   opts.MaxBlockTxs,
+		FeeMarket:     opts.feeConfig(),
 	})
 	market := NewMarket(sub.Sched, sim.Mix64(opts.Seed^0xa5a5a5a5), opts.PriceTick, opts.Volatility)
 
@@ -153,8 +194,15 @@ func Run(opts Options, pop []DealSetup) (*Result, error) {
 			res.Outcomes[owner[p]].SoreLosers++
 			res.Interference.SoreLoserTriggers++
 		},
-		OnFrontRun: func(p chain.Addr, method string, won bool) {
+		OnFrontRun: func(p chain.Addr, method string, bid uint64, won bool) {
 			res.Outcomes[owner[p]].FrontRuns++
+			if bid > 0 {
+				res.Interference.FeeBidAttempts++
+				if won {
+					res.Interference.FeeBidWins++
+				}
+				return
+			}
 			res.Interference.FrontRunAttempts++
 			if won {
 				res.Interference.FrontRunWins++
@@ -194,6 +242,10 @@ func Run(opts Options, pop []DealSetup) (*Result, error) {
 		out := &res.Outcomes[k]
 		out.Result = w.Evaluate()
 		out.ArenaDelta = out.Result.Phases.InDelta(out.Result.Phases.DecisionEnd, w.Spec.Delta)
+		out.Fees = out.Result.DealFees
+	}
+	if opts.FeeMarket {
+		res.Fees = engine.CollectFees(sub.Chains)
 	}
 
 	if opts.Baselines {
@@ -253,6 +305,7 @@ func runBaselines(opts Options, pop []DealSetup, res *Result) {
 			Seed:          setup.Seed,
 			BlockInterval: opts.BlockInterval,
 			MaxBlockTxs:   opts.MaxBlockTxs,
+			FeeMarket:     opts.feeConfig(),
 		})
 		market := NewMarket(sub.Sched, sim.Mix64(opts.Seed^0xa5a5a5a5), opts.PriceTick, opts.Volatility)
 		hooks := &party.AdaptiveHooks{Oracle: market}

@@ -109,6 +109,110 @@ func TestArenaAdversarialPopulationSafe(t *testing.T) {
 	}
 }
 
+// feeFingerprint extends the arena fingerprint with the fee summary.
+func feeFingerprint(res *Result) string {
+	s := fingerprint(res)
+	if res.Fees != nil {
+		s += fmt.Sprintf("fees burned=%d tipped=%d samples=%d\n",
+			res.Fees.Burned, res.Fees.Tipped, len(res.Fees.Samples))
+		for _, smp := range res.Fees.Samples {
+			s += fmt.Sprintf("%d/%d;", smp.Tip, smp.Queued)
+		}
+	}
+	return s
+}
+
+// TestFeeMarketArenaDeterministicAndAccounted: a fee-market arena stays
+// a pure function of its options — bit-identical fee ledgers and
+// tip/queue samples across runs — and the per-deal fee attribution sums
+// to no more than the world totals (setup transactions burn the rest).
+func TestFeeMarketArenaDeterministicAndAccounted(t *testing.T) {
+	mk := func() []DealSetup {
+		pop, err := NewPopulation(PopOptions{
+			Seed: 7, Deals: 30, Chains: 4, AdversaryRate: 0.3,
+			FeeMarket: true, TipBudget: 400,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pop
+	}
+	opts := Options{Seed: 7, FeeMarket: true}
+	a, err := Run(opts, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := feeFingerprint(a), feeFingerprint(b)
+	if fa != fb {
+		t.Fatal("fee-market arena not deterministic across runs")
+	}
+	if a.Fees == nil || a.Fees.Burned == 0 {
+		t.Fatal("fee-market arena burned nothing")
+	}
+	if a.Fees.Tipped == 0 {
+		t.Fatal("nobody tipped in a fee-market arena")
+	}
+	var dealFees uint64
+	for _, out := range a.Outcomes {
+		dealFees += out.Fees
+	}
+	if dealFees == 0 {
+		t.Fatal("no fees attributed to any deal")
+	}
+	if total := a.Fees.Burned + a.Fees.Tipped; dealFees > total {
+		t.Fatalf("per-deal fees %d exceed world total %d", dealFees, total)
+	}
+}
+
+// TestFeeBidderBeatsPlainRacerOnSameSeeds is the headline ordering-game
+// claim: the fee-bidding front-runner wins strictly more of its races
+// than the plain gossip racer does on the same seeds. The populations
+// are twins — the FeeMarket flag consumes no randomness, so the same
+// parties race the same opportunities; the only difference is that the
+// bidders outbid the transactions they race, and tip-ordered blocks
+// honor the bid.
+func TestFeeBidderBeatsPlainRacerOnSameSeeds(t *testing.T) {
+	mk := func(fees bool) []DealSetup {
+		pop, err := NewPopulation(PopOptions{
+			Seed: 7, Deals: 40, Chains: 3, AdversaryRate: 0.35,
+			FeeMarket: fees,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pop
+	}
+	fifo, err := Run(Options{Seed: 7}, mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	market, err := Run(Options{Seed: 7, FeeMarket: true}, mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, bids := fifo.Interference, market.Interference
+	if plain.FrontRunAttempts == 0 {
+		t.Fatal("no plain races on this seed; pick another")
+	}
+	if bids.FeeBidAttempts == 0 {
+		t.Fatal("no fee-bid races on this seed; the upgrade is dead")
+	}
+	if plain.FeeBidAttempts != 0 || bids.FrontRunAttempts != 0 {
+		t.Fatalf("strategy accounting mixed: fifo=%+v market=%+v", plain, bids)
+	}
+	plainRate := float64(plain.FrontRunWins) / float64(plain.FrontRunAttempts)
+	bidRate := float64(bids.FeeBidWins) / float64(bids.FeeBidAttempts)
+	if bidRate <= plainRate {
+		t.Fatalf("fee bidder win rate %.3f (%d/%d) does not exceed plain racer's %.3f (%d/%d)",
+			bidRate, bids.FeeBidWins, bids.FeeBidAttempts,
+			plainRate, plain.FrontRunWins, plain.FrontRunAttempts)
+	}
+}
+
 // TestSoreLoserAbortNeverViolatesSafety is the regression test for the
 // headline attack, under both protocols: a hair-trigger sore loser
 // backs out of its deal on the first upward price tick, the deal fails

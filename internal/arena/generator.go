@@ -38,6 +38,16 @@ type PopOptions struct {
 	// StartGap staggers deal starts: deal k starts about k·StartGap
 	// after the arena opens. Defaults to 50 ticks.
 	StartGap sim.Duration
+	// FeeMarket upgrades the adversary mix for fee-market worlds: the
+	// front-runner slot of the mix becomes a fee bidder with TipBudget
+	// to spend on outbidding victims. The flag consumes no randomness,
+	// so a population differs from its FIFO twin only in that upgrade —
+	// the same parties race, bidding instead of merely reacting, which
+	// is what makes the two strategies' win rates comparable seed for
+	// seed.
+	FeeMarket bool
+	// TipBudget is each fee bidder's total tip spend cap (default 400).
+	TipBudget uint64
 }
 
 // DealSetup is one fully specified deal of an arena population. Spec.T0
@@ -72,6 +82,9 @@ func (o *PopOptions) defaults() error {
 	}
 	if o.StartGap <= 0 {
 		o.StartGap = 50
+	}
+	if o.TipBudget == 0 {
+		o.TipBudget = 400
 	}
 	return nil
 }
@@ -166,6 +179,10 @@ func synthDeal(opts PopOptions, k int) DealSetup {
 			b = party.Behavior{SoreLoserThreshold: 0.02 + 0.10*rng.Float64()}
 		case q < 0.60:
 			b = party.Behavior{FrontRun: true}
+			if opts.FeeMarket {
+				b.FeeBid = true
+				b.FeeBudget = opts.TipBudget
+			}
 		case q < 0.80:
 			b = party.Behavior{Grief: true}
 		case q < 0.90:

@@ -22,7 +22,10 @@ import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
+	"xdeal/internal/feemarket"
 	"xdeal/internal/gas"
 	"xdeal/internal/sig"
 	"xdeal/internal/sim"
@@ -48,8 +51,15 @@ type Tx struct {
 	// delayed by the chain's notification latency — the sender observing
 	// its own transaction's fate is an observation like any other.
 	OnReceipt func(*Receipt)
+	// Tip is the priority fee offered to the block builder. On chains
+	// with a fee market, blocks include pending transactions in
+	// descending tip order (ties broken by arrival sequence, preserving
+	// FIFO among equal bids); without one, tips are ignored and
+	// inclusion is strictly FIFO.
+	Tip uint64
 
-	seq uint64 // arrival order for deterministic inclusion
+	seq       uint64   // arrival order for deterministic inclusion
+	arrivedAt sim.Time // mempool arrival, set by Submit's delivery
 }
 
 // Receipt reports the outcome of an executed transaction.
@@ -59,7 +69,21 @@ type Receipt struct {
 	Time   sim.Time // execution (block) time
 	Result any
 	Err    error
+	// ArrivedAt is when the transaction reached the mempool. Together
+	// with Time (the block that actually included it) it makes queuing
+	// delay observable: a transaction deferred past full blocks carries
+	// its real inclusion time here, not the time it was published, so
+	// latency metrics see what congestion cost it.
+	ArrivedAt sim.Time
+	// BaseFee and TipPaid record the fee-market charge at inclusion
+	// (zero on chains without a fee market).
+	BaseFee uint64
+	TipPaid uint64
 }
+
+// Queued is how long the transaction waited in the mempool before the
+// block builder included it.
+func (r *Receipt) Queued() sim.Duration { return r.Time - r.ArrivedAt }
 
 // Event is a log entry emitted by a contract, delivered to subscribers
 // after the chain's notification delay.
@@ -154,6 +178,13 @@ type Config struct {
 	// deals genuinely contend: under load, a transaction's confirmation
 	// latency grows with the length of the queue in front of it.
 	MaxBlockTxs int
+	// FeeMarket, when non-nil, attaches an EIP-1559-style fee market:
+	// the block builder orders the mempool by priority tip (descending,
+	// arrival-sequence tie-break) instead of FIFO, every included
+	// transaction burns the block's base fee plus its tip, and the base
+	// fee rises and falls with block fullness. Nil keeps the legacy
+	// FIFO chain, bit for bit.
+	FeeMarket *feemarket.Config
 }
 
 // Chain is a simulated blockchain.
@@ -162,6 +193,7 @@ type Chain struct {
 	sched     *sim.Scheduler
 	rng       *sim.RNG
 	meter     *gas.Meter
+	fees      *feemarket.Market // nil without a fee market
 	height    uint64
 	lastHash  [32]byte
 	mempool   []*Tx
@@ -171,14 +203,24 @@ type Chain struct {
 	nextSub   int
 	mpSubs    map[int]func(PendingTx)
 	nextMpSub int
+	rcptSubs  map[int]func(*Receipt)
+	nextRcpt  int
 	blockSet  bool // a block production event is scheduled
 	receipts  []*Receipt
+
+	// submitMu serializes Submit so transaction ingestion is safe from
+	// multiple goroutines while the scheduler is idle (fleets feed
+	// chains concurrently before draining). Everything else — block
+	// production, contract execution, observation — runs on the
+	// single-threaded scheduler and takes no locks.
+	submitMu sync.Mutex
 }
 
 // PendingTx is the publicly gossiped view of a transaction that has been
 // published but not yet executed. Mempool observers (front-running
-// parties, fee estimators) see the sender, target, and full call data —
-// exactly what a real public mempool leaks.
+// parties, fee estimators) see the sender, target, full call data, and
+// the offered tip — exactly what a real public mempool leaks, and
+// exactly what a fee-bidding front-runner needs to outbid.
 type PendingTx struct {
 	Chain    ID
 	Sender   Addr
@@ -186,6 +228,7 @@ type PendingTx struct {
 	Method   string
 	Label    string
 	Args     any
+	Tip      uint64
 }
 
 // New creates a chain attached to the scheduler. The RNG is forked from
@@ -200,7 +243,7 @@ func New(cfg Config, sched *sim.Scheduler, rng *sim.RNG) *Chain {
 	if cfg.Keys == nil {
 		cfg.Keys = make(map[string]ed25519.PublicKey)
 	}
-	return &Chain{
+	c := &Chain{
 		cfg:       cfg,
 		sched:     sched,
 		rng:       rng.Fork(),
@@ -208,7 +251,12 @@ func New(cfg Config, sched *sim.Scheduler, rng *sim.RNG) *Chain {
 		contracts: make(map[Addr]Contract),
 		subs:      make(map[int]func(Event)),
 		mpSubs:    make(map[int]func(PendingTx)),
+		rcptSubs:  make(map[int]func(*Receipt)),
 	}
+	if cfg.FeeMarket != nil {
+		c.fees = feemarket.New(*cfg.FeeMarket, cfg.MaxBlockTxs)
+	}
+	return c
 }
 
 // ID returns the chain identifier.
@@ -219,6 +267,9 @@ func (c *Chain) Height() uint64 { return c.height }
 
 // Meter exposes the chain's gas meter.
 func (c *Chain) Meter() *gas.Meter { return c.meter }
+
+// FeeMarket exposes the chain's fee market, or nil on FIFO chains.
+func (c *Chain) FeeMarket() *feemarket.Market { return c.fees }
 
 // Scheduler returns the simulation scheduler the chain runs on.
 func (c *Chain) Scheduler() *sim.Scheduler { return c.sched }
@@ -259,15 +310,23 @@ func (c *Chain) Subscribe(fn func(Event)) func() {
 }
 
 // Submit publishes a transaction. It reaches the mempool after the submit
-// delay and executes in the next block at or after its arrival. Mempool
-// observers see the transaction's gossip as soon as it is published, each
-// after its own notification delay — so a fast observer can react to a
-// pending transaction before it has even reached the mempool.
+// delay and executes in the next block at or after its arrival — the
+// block chosen FIFO, or by tip under a fee market. Mempool observers see
+// the transaction's gossip (including its tip) as soon as it is
+// published, each after its own notification delay — so a fast observer
+// can react to, or outbid, a pending transaction before it has even
+// reached the mempool.
+//
+// Submit is safe to call from multiple goroutines while the scheduler is
+// idle; the sequence numbers that order ties then follow lock-acquisition
+// order. Deterministic simulations submit from the scheduler thread only.
 func (c *Chain) Submit(tx *Tx) {
+	c.submitMu.Lock()
 	tx.seq = c.txSeq
 	c.txSeq++
 	d := c.cfg.Delays.SubmitDelay(c.sched.Now(), c.rng)
 	c.sched.After(d, func() {
+		tx.arrivedAt = c.sched.Now()
 		c.mempool = append(c.mempool, tx)
 		c.scheduleBlock()
 	})
@@ -279,6 +338,7 @@ func (c *Chain) Submit(tx *Tx) {
 			Method:   tx.Method,
 			Label:    tx.Label,
 			Args:     tx.Args,
+			Tip:      tx.Tip,
 		}
 		for id := 0; id < c.nextMpSub; id++ {
 			fn, ok := c.mpSubs[id]
@@ -289,6 +349,7 @@ func (c *Chain) Submit(tx *Tx) {
 			c.sched.After(nd, func() { fn(ptx) })
 		}
 	}
+	c.submitMu.Unlock()
 }
 
 // SubscribeMempool registers a mempool observer: fn receives every
@@ -300,6 +361,18 @@ func (c *Chain) SubscribeMempool(fn func(PendingTx)) func() {
 	c.nextMpSub++
 	c.mpSubs[id] = fn
 	return func() { delete(c.mpSubs, id) }
+}
+
+// SubscribeReceipts registers an omniscient receipt observer: fn is
+// invoked synchronously as each transaction executes, with no network
+// delay. This is measurement apparatus (tracing, metrics), not a channel
+// parties may react through — parties observe via Subscribe/OnReceipt,
+// which model latency. The returned function unsubscribes.
+func (c *Chain) SubscribeReceipts(fn func(*Receipt)) func() {
+	id := c.nextRcpt
+	c.nextRcpt++
+	c.rcptSubs[id] = fn
+	return func() { delete(c.rcptSubs, id) }
 }
 
 // SubmitAfter publishes a transaction after an additional sender-side
@@ -324,14 +397,27 @@ func (c *Chain) scheduleBlock() {
 	c.sched.At(next, c.produceBlock)
 }
 
-// produceBlock executes pending transactions in arrival order — all of
-// them, or the first MaxBlockTxs when the block is capacity-limited —
-// appends a block, and notifies subscribers. Overflow transactions stay
-// queued for the next block.
+// produceBlock builds and executes one block, appends it, and notifies
+// subscribers. Without a fee market the builder is FIFO: pending
+// transactions in arrival order, all of them or the first MaxBlockTxs
+// when capacity-limited. With one, the builder orders the whole mempool
+// by priority tip (descending, arrival-sequence tie-break — so equal
+// bids keep the FIFO baseline) before applying the capacity cap, then
+// burns the base fee and collects the tip of every included
+// transaction and moves the base fee with the block's fullness.
+// Overflow transactions stay queued for the next block.
 func (c *Chain) produceBlock() {
 	c.blockSet = false
 	txs := c.mempool
 	c.mempool = nil
+	if c.fees != nil {
+		sort.Slice(txs, func(i, j int) bool {
+			if txs[i].Tip != txs[j].Tip {
+				return txs[i].Tip > txs[j].Tip
+			}
+			return txs[i].seq < txs[j].seq
+		})
+	}
 	if cap := c.cfg.MaxBlockTxs; cap > 0 && len(txs) > cap {
 		c.mempool = txs[cap:]
 		txs = txs[:cap]
@@ -341,20 +427,40 @@ func (c *Chain) produceBlock() {
 	}
 	c.height++
 	now := c.sched.Now()
+	var baseFee uint64
+	if c.fees != nil {
+		baseFee = c.fees.BaseFee()
+	}
 	var digest []byte
 	var blockEvents []Event
 	for _, tx := range txs {
 		rcpt := c.execute(tx, now)
+		rcpt.ArrivedAt = tx.arrivedAt
+		if c.fees != nil {
+			// Included transactions pay whether or not they succeed:
+			// they occupied block space either way.
+			c.fees.Charge(tx.Label, tx.Tip)
+			rcpt.BaseFee = baseFee
+			rcpt.TipPaid = tx.Tip
+		}
 		c.receipts = append(c.receipts, rcpt.Receipt)
 		digest = append(digest, []byte(tx.Contract+"/"+Addr(tx.Method))...)
 		if rcpt.pending != nil {
 			blockEvents = append(blockEvents, rcpt.pending...)
+		}
+		for id := 0; id < c.nextRcpt; id++ {
+			if fn, ok := c.rcptSubs[id]; ok {
+				fn(rcpt.Receipt)
+			}
 		}
 		if tx.OnReceipt != nil {
 			r := rcpt.Receipt
 			d := c.cfg.Delays.NotifyDelay(now, c.rng)
 			c.sched.After(d, func() { tx.OnReceipt(r) })
 		}
+	}
+	if c.fees != nil {
+		c.fees.Seal(len(txs))
 	}
 	c.lastHash = sig.Hash(c.lastHash[:], digest)
 	for _, ev := range blockEvents {

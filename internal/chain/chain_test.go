@@ -3,8 +3,10 @@ package chain
 import (
 	"crypto/ed25519"
 	"errors"
+	"sync"
 	"testing"
 
+	"xdeal/internal/feemarket"
 	"xdeal/internal/gas"
 	"xdeal/internal/sig"
 	"xdeal/internal/sim"
@@ -455,6 +457,226 @@ func TestMempoolObserversSeePendingTxs(t *testing.T) {
 	sched.Run()
 	if len(seen) != 1 {
 		t.Fatal("unsubscribed observer still receiving gossip")
+	}
+}
+
+// TestConcurrentSubmitKeepsFIFOOrder: transaction ingestion is safe
+// from many goroutines while the scheduler is idle, and the overflow
+// queue of a capacity-limited chain preserves arrival order — receipts
+// come out exactly in submission-sequence order even though the
+// submitting goroutines interleave arbitrarily. This is the FIFO
+// baseline the fee market's tie-break must preserve; run under -race it
+// also proves Submit itself is data-race-free.
+func TestConcurrentSubmitKeepsFIFOOrder(t *testing.T) {
+	run := func(t *testing.T, fees *feemarket.Config) {
+		sched := sim.NewScheduler()
+		c := New(Config{
+			ID:            "concurrent",
+			BlockInterval: 10,
+			Delays:        SyncPolicy{Min: 1, Max: 1}, // constant: arrival order = seq order
+			Schedule:      gas.DefaultSchedule(),
+			MaxBlockTxs:   3,
+			FeeMarket:     fees,
+		}, sched, sim.NewRNG(1))
+		c.MustDeploy("ctr", &counter{})
+
+		const goroutines, perG = 8, 25
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					// Equal tips everywhere: the fee market's tie-break
+					// must reduce to FIFO.
+					c.Submit(&Tx{Sender: "a", Contract: "ctr", Method: "inc", Label: "t", Tip: 5})
+				}
+			}()
+		}
+		wg.Wait()
+		sched.Run()
+
+		rs := c.Receipts()
+		if len(rs) != goroutines*perG {
+			t.Fatalf("%d receipts, want %d", len(rs), goroutines*perG)
+		}
+		perBlock := make(map[uint64]int)
+		for i, r := range rs {
+			if r.Tx.seq != uint64(i) {
+				t.Fatalf("receipt %d is tx seq %d: overflow broke FIFO order", i, r.Tx.seq)
+			}
+			perBlock[r.Height]++
+		}
+		for h, n := range perBlock {
+			if n > 3 {
+				t.Fatalf("block %d included %d txs over cap 3", h, n)
+			}
+		}
+	}
+	t.Run("fifo", func(t *testing.T) { run(t, nil) })
+	t.Run("feemarket-equal-tips", func(t *testing.T) { run(t, &feemarket.Config{}) })
+}
+
+// TestFeeMarketOrdersBlocksByTip: under a fee market the block builder
+// includes by descending tip, tie-broken by arrival sequence — the
+// highest bidder jumps the whole queue, equal bids stay FIFO.
+func TestFeeMarketOrdersBlocksByTip(t *testing.T) {
+	sched := sim.NewScheduler()
+	c := New(Config{
+		ID:            "fees",
+		BlockInterval: 10,
+		Delays:        SyncPolicy{Min: 1, Max: 1},
+		Schedule:      gas.DefaultSchedule(),
+		MaxBlockTxs:   2,
+		FeeMarket:     &feemarket.Config{Initial: 100},
+	}, sched, sim.NewRNG(1))
+	c.MustDeploy("ctr", &counter{})
+
+	tips := []uint64{0, 7, 3, 7, 12, 0}
+	for i, tip := range tips {
+		c.Submit(&Tx{Sender: Addr(rune('a' + i)), Contract: "ctr", Method: "inc", Label: "t", Tip: tip})
+	}
+	sched.Run()
+
+	rs := c.Receipts()
+	if len(rs) != len(tips) {
+		t.Fatalf("%d receipts, want %d", len(rs), len(tips))
+	}
+	// Expected order: tip 12 (e), then the two tip-7s in arrival order
+	// (b, d), then tip 3 (c), then the tip-0s in arrival order (a, f).
+	want := []Addr{"e", "b", "d", "c", "a", "f"}
+	for i, r := range rs {
+		if r.Tx.Sender != want[i] {
+			got := make([]Addr, len(rs))
+			for j, rr := range rs {
+				got[j] = rr.Tx.Sender
+			}
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+		if r.TipPaid != r.Tx.Tip {
+			t.Fatalf("receipt tip %d != offered tip %d", r.TipPaid, r.Tx.Tip)
+		}
+		if r.BaseFee == 0 {
+			t.Fatal("included tx burned no base fee")
+		}
+	}
+	fm := c.FeeMarket()
+	if fm == nil {
+		t.Fatal("fee market not attached")
+	}
+	wantTipped := uint64(0)
+	for _, tip := range tips {
+		wantTipped += tip
+	}
+	tot := fm.Totals()
+	if tot.Tipped != wantTipped {
+		t.Fatalf("tipped %d, want %d", tot.Tipped, wantTipped)
+	}
+	if tot.Burned == 0 {
+		t.Fatal("no base fees burned")
+	}
+	if lt := fm.LabelTotals("t"); lt != tot {
+		t.Fatalf("label ledger %+v != totals %+v", lt, tot)
+	}
+}
+
+// TestFeeMarketBaseFeeTracksCongestion: sustained full blocks push the
+// base fee up; an idle chain decays it back toward the floor.
+func TestFeeMarketBaseFeeTracksCongestion(t *testing.T) {
+	sched := sim.NewScheduler()
+	c := New(Config{
+		ID:            "hot",
+		BlockInterval: 10,
+		Delays:        SyncPolicy{Min: 1, Max: 1},
+		Schedule:      gas.DefaultSchedule(),
+		MaxBlockTxs:   2,
+		FeeMarket:     &feemarket.Config{Initial: 100},
+	}, sched, sim.NewRNG(1))
+	c.MustDeploy("ctr", &counter{})
+	start := c.FeeMarket().BaseFee()
+	for i := 0; i < 30; i++ {
+		c.Submit(&Tx{Sender: "a", Contract: "ctr", Method: "inc", Label: "t"})
+	}
+	sched.Run()
+	if got := c.FeeMarket().BaseFee(); got <= start {
+		t.Fatalf("base fee %d did not rise from %d across 15 full blocks", got, start)
+	}
+	// Receipts in later blocks burned more than receipts in earlier ones.
+	rs := c.Receipts()
+	if rs[len(rs)-1].BaseFee <= rs[0].BaseFee {
+		t.Fatalf("late block base fee %d not above first block's %d",
+			rs[len(rs)-1].BaseFee, rs[0].BaseFee)
+	}
+}
+
+// TestReceiptsRecordQueuingDelay: a transaction deferred past full
+// blocks carries its real inclusion time and its mempool wait — the
+// receipt's Time advances with the block that actually included it
+// rather than staying at publication time, so latency metrics see what
+// congestion cost (the MaxBlockTxs trace-timestamp regression).
+func TestReceiptsRecordQueuingDelay(t *testing.T) {
+	sched := sim.NewScheduler()
+	c := New(Config{
+		ID:            "queued",
+		BlockInterval: 10,
+		Delays:        SyncPolicy{Min: 1, Max: 1},
+		Schedule:      gas.DefaultSchedule(),
+		MaxBlockTxs:   1,
+	}, sched, sim.NewRNG(1))
+	c.MustDeploy("ctr", &counter{})
+	for i := 0; i < 4; i++ {
+		c.Submit(&Tx{Sender: Addr(rune('a' + i)), Contract: "ctr", Method: "inc", Label: "t"})
+	}
+	sched.Run()
+	rs := c.Receipts()
+	if len(rs) != 4 {
+		t.Fatalf("%d receipts, want 4", len(rs))
+	}
+	for i, r := range rs {
+		if r.ArrivedAt != 1 {
+			t.Fatalf("tx %d arrived at %d, want 1 (constant submit delay)", i, r.ArrivedAt)
+		}
+		// Cap 1: tx i executes in block i+1 at time 10·(i+1).
+		if want := sim.Time(10 * (i + 1)); r.Time != want {
+			t.Fatalf("tx %d included at %d, want %d: deferred txs keep stale timestamps", i, r.Time, want)
+		}
+		if want := sim.Duration(10*(i+1) - 1); r.Queued() != want {
+			t.Fatalf("tx %d queued %d, want %d", i, r.Queued(), want)
+		}
+	}
+}
+
+// TestSubscribeReceiptsObservesInclusions: the synchronous receipt feed
+// sees every included transaction at its inclusion instant.
+func TestSubscribeReceiptsObservesInclusions(t *testing.T) {
+	c, sched := testChain(t)
+	c.MustDeploy("ctr", &counter{})
+	var seen []*Receipt
+	unsub := c.SubscribeReceipts(func(r *Receipt) { seen = append(seen, r) })
+	c.Submit(&Tx{Sender: "a", Contract: "ctr", Method: "inc", Label: "t"})
+	sched.Run()
+	if len(seen) != 1 || seen[0].Tx.Sender != "a" {
+		t.Fatalf("receipt feed saw %d receipts", len(seen))
+	}
+	unsub()
+	c.Submit(&Tx{Sender: "b", Contract: "ctr", Method: "inc", Label: "t"})
+	sched.Run()
+	if len(seen) != 1 {
+		t.Fatal("unsubscribed receipt observer still fed")
+	}
+}
+
+// TestMempoolGossipCarriesTip: fee bids are public the moment they are
+// published — the channel fee-bidding front-runners outbid on.
+func TestMempoolGossipCarriesTip(t *testing.T) {
+	c, sched := testChain(t)
+	c.MustDeploy("ctr", &counter{})
+	var tips []uint64
+	c.SubscribeMempool(func(p PendingTx) { tips = append(tips, p.Tip) })
+	c.Submit(&Tx{Sender: "a", Contract: "ctr", Method: "inc", Label: "t", Tip: 9})
+	sched.Run()
+	if len(tips) != 1 || tips[0] != 9 {
+		t.Fatalf("gossiped tips %v, want [9]", tips)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"xdeal/internal/clearing"
 	"xdeal/internal/deal"
 	"xdeal/internal/escrow"
+	"xdeal/internal/feemarket"
 	"xdeal/internal/gas"
 	"xdeal/internal/party"
 	"xdeal/internal/sig"
@@ -75,6 +76,14 @@ type Options struct {
 	// (setup and party phases), keeping gas attributable per deal when
 	// many deals share one substrate's chains. Empty outside arenas.
 	LabelPrefix string
+	// FeeMarket, when non-nil, attaches an EIP-1559-style fee market to
+	// every chain (see internal/feemarket): tip-ordered blocks, a base
+	// fee that tracks block fullness, and per-label fee accounting.
+	FeeMarket *feemarket.Config
+	// Fees is the tip strategy installed on every party; nil with
+	// FeeMarket set defaults to a DeadlineFee that escalates tips as
+	// the timelock deadline approaches. Ignored without a fee market.
+	Fees party.FeeEstimator
 	// Adaptive wires reactive adversary strategies (sore-loser,
 	// front-runner) to arena-level observable state: a market price
 	// oracle and metric callbacks. Nil outside arena runs.
@@ -115,6 +124,9 @@ type SubstrateConfig struct {
 	Delays        chain.DelayPolicy
 	MaxBlockTxs   int
 	Outages       map[chain.ID]Outage
+	// FeeMarket attaches a fee market to every chain created on the
+	// substrate; nil keeps FIFO inclusion.
+	FeeMarket *feemarket.Config
 }
 
 // NewSubstrate creates an empty shared world.
@@ -184,6 +196,7 @@ func Build(spec *deal.Spec, opts Options) (*World, error) {
 		Delays:        opts.Delays,
 		MaxBlockTxs:   opts.MaxBlockTxs,
 		Outages:       opts.Outages,
+		FeeMarket:     opts.FeeMarket,
 	})
 	return sub.BuildOn(spec, opts)
 }
@@ -250,6 +263,7 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 				OutageFrom:    outage.From,
 				OutageUntil:   outage.Until,
 				MaxBlockTxs:   s.cfg.MaxBlockTxs,
+				FeeMarket:     s.cfg.FeeMarket,
 			}, sched, s.rng)
 			s.Chains[a.Chain] = c
 		}
@@ -365,6 +379,13 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 	if patience <= 0 {
 		patience = 10 * spec.Delta
 	}
+	fees := opts.Fees
+	if fees == nil && s.cfg.FeeMarket != nil {
+		// Rational default under a fee market: escalate tips as the
+		// timelock deadline approaches — a vote stuck in a congested
+		// mempool past its deadline is worthless.
+		fees = party.DeadlineFee{Start: 1, Max: 16}
+	}
 	for i, addr := range spec.Parties {
 		addr := addr
 		cfg := party.Config{
@@ -376,6 +397,7 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 			Behavior:    opts.Behaviors[addr],
 			Patience:    patience,
 			LabelPrefix: opts.LabelPrefix,
+			Fees:        fees,
 			Adaptive:    opts.Adaptive,
 			OnValidated: func(p chain.Addr, at sim.Time) {
 				w.validatedAt[p] = at
@@ -457,6 +479,81 @@ func (w *World) DealGas() uint64 {
 
 func p2obligations(s *deal.Spec, p chain.Addr) []deal.Obligation {
 	return s.EscrowObligations(p)
+}
+
+// DealFees returns the fee-market spend (base fees burned plus tips
+// paid) attributable to this deal, mirroring DealGas: every chain's
+// whole fee ledger on a private substrate, the deal's label-prefixed
+// share on a shared one. Zero without a fee market.
+func (w *World) DealFees() uint64 {
+	var total feemarket.Totals
+	ids := make([]string, 0, len(w.Chains))
+	for id := range w.Chains {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fm := w.Chains[chain.ID(id)].FeeMarket()
+		if fm == nil {
+			continue
+		}
+		if w.opts.LabelPrefix == "" {
+			total.Add(fm.Totals())
+			continue
+		}
+		// Prefix attribution (label prefixes are "dealID/", and distinct
+		// deal ids never prefix each other) stays correct even if the
+		// party grows new phase labels.
+		total.Add(fm.PrefixTotals(w.opts.LabelPrefix))
+	}
+	return total.Sum()
+}
+
+// FeeSample is one included transaction's fee-market observation: the
+// tip it bid and how long it queued in the mempool before inclusion.
+type FeeSample struct {
+	Tip    uint64
+	Queued int64
+}
+
+// FeeSummary aggregates fee-market activity across a set of chains.
+type FeeSummary struct {
+	// Burned and Tipped total the fee flows (base fees are burned,
+	// tips go to block position).
+	Burned uint64
+	Tipped uint64
+	// Samples holds one (tip, queuing delay) observation per included
+	// transaction, in deterministic (chain id, execution) order — the
+	// raw material for inclusion-delay-by-tip-decile reports.
+	Samples []FeeSample
+}
+
+// CollectFees summarizes fee-market activity over chains (a world's or
+// a whole substrate's). Returns nil when no chain runs a fee market.
+func CollectFees(chains map[chain.ID]*chain.Chain) *FeeSummary {
+	ids := make([]string, 0, len(chains))
+	for id := range chains {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	var sum *FeeSummary
+	for _, id := range ids {
+		c := chains[chain.ID(id)]
+		fm := c.FeeMarket()
+		if fm == nil {
+			continue
+		}
+		if sum == nil {
+			sum = &FeeSummary{}
+		}
+		t := fm.Totals()
+		sum.Burned += t.Burned
+		sum.Tipped += t.Tipped
+		for _, r := range c.Receipts() {
+			sum.Samples = append(sum.Samples, FeeSample{Tip: r.TipPaid, Queued: int64(r.Queued())})
+		}
+	}
+	return sum
 }
 
 // observe records protocol milestones from chain events.
@@ -568,6 +665,15 @@ func (w *World) attachTrace(log *trace.Log) {
 		c.Subscribe(func(ev chain.Event) {
 			log.Addf(ev.Time, src, ev.Kind, "%s by %s: %s",
 				ev.Contract, ev.Sender, renderEventData(ev.Data))
+		})
+		// Inclusion records: each transaction is logged at the block
+		// that actually included it, with its mempool queuing delay —
+		// so a transaction deferred past full blocks shows its real
+		// inclusion time, not the time it was published.
+		c.SubscribeReceipts(func(r *chain.Receipt) {
+			log.Addf(r.Time, src, "included",
+				"%s.%s by %s at height %d after %d queued (tip %d)",
+				r.Tx.Contract, r.Tx.Method, r.Tx.Sender, r.Height, r.Queued(), r.TipPaid)
 		})
 	}
 	if w.CBC != nil {

@@ -56,6 +56,14 @@ type Result struct {
 	DealGas uint64
 	// CBCGas is the certified blockchain's own bookkeeping cost.
 	CBCGas uint64
+	// DealFees is the fee-market spend (base fees burned + tips paid)
+	// attributable to this deal; zero without a fee market.
+	DealFees uint64
+	// Fees summarizes world-wide fee-market activity (totals plus one
+	// tip/queuing-delay sample per included transaction). Only filled
+	// for private worlds — on a shared substrate the chains mix many
+	// deals, so the arena collects the substrate-level summary once.
+	Fees *FeeSummary
 	// EndedAt is the simulation time when the run drained.
 	EndedAt sim.Time
 }
@@ -71,10 +79,14 @@ func (w *World) evaluate() *Result {
 		FinalTokenOwners: make(map[string]map[string]chain.Addr),
 		Gas:              w.GasMerged(),
 		DealGas:          w.DealGas(),
+		DealFees:         w.DealFees(),
 		EndedAt:          w.Sched.Now(),
 	}
 	if w.CBC != nil {
 		r.CBCGas = w.CBC.Meter().Used()
+	}
+	if w.opts.LabelPrefix == "" {
+		r.Fees = CollectFees(w.Chains)
 	}
 
 	for _, p := range spec.Parties {

@@ -1,0 +1,186 @@
+// Package feemarket implements a deterministic per-chain fee market in
+// the style of EIP-1559: a protocol-set base fee that rises when blocks
+// run over a fullness target and decays when they run under it, plus
+// per-transaction priority tips that block builders order by.
+//
+// The market splits a transaction's fee into two flows, mirroring the
+// EIP-1559 accounting:
+//
+//   - the base fee is burned: every included transaction pays the base
+//     fee current at its inclusion block, and congestion (full blocks)
+//     ratchets that price up for everyone;
+//   - the tip is the sender's bid for position: the block builder orders
+//     the mempool by tip, descending, tie-broken by arrival sequence so
+//     equal bids preserve FIFO and the whole simulation stays a pure
+//     function of its seed.
+//
+// Fees are accounting, not token transfers: parties' on-chain balances
+// are deal assets whose conservation the engine's safety checks assert,
+// so fee spend is tracked in the market's own ledger (total and
+// per-label, the same attribution scheme the gas meter uses) rather
+// than debited from token contracts. This is exactly what the ordering
+// games need — who got in first, and what the queue position cost —
+// without entangling fee flows in Property 1–3 bookkeeping.
+//
+// Everything here is integer arithmetic on explicitly ordered state, so
+// a market's trajectory is bit-identical across runs, worker counts,
+// and platforms.
+package feemarket
+
+import "sort"
+
+// Config parameterizes a chain's fee market.
+type Config struct {
+	// Initial is the base fee of the first block (default 100).
+	Initial uint64
+	// Min is the floor the base fee decays toward (default 1).
+	Min uint64
+	// Target is the block fullness (in transactions) the base fee
+	// steers toward: fuller blocks raise it, emptier blocks lower it.
+	// Zero derives half the chain's block capacity, or 4 on chains
+	// without a capacity cap.
+	Target int
+	// AdjustQuotient bounds the per-block base-fee move to 1/quotient
+	// of the current fee, as in EIP-1559 (default 8, i.e. ±12.5%).
+	AdjustQuotient uint64
+}
+
+// withDefaults resolves zero fields against the chain's block capacity.
+func (c Config) withDefaults(maxBlockTxs int) Config {
+	if c.Initial == 0 {
+		c.Initial = 100
+	}
+	if c.Min == 0 {
+		c.Min = 1
+	}
+	if c.Target <= 0 {
+		if maxBlockTxs > 0 {
+			c.Target = maxBlockTxs / 2
+		} else {
+			c.Target = 4
+		}
+		if c.Target < 1 {
+			c.Target = 1
+		}
+	}
+	if c.AdjustQuotient == 0 {
+		c.AdjustQuotient = 8
+	}
+	return c
+}
+
+// Totals is a burned/tipped fee pair.
+type Totals struct {
+	Burned uint64 `json:"burned"`
+	Tipped uint64 `json:"tipped"`
+}
+
+// Add folds another pair in.
+func (t *Totals) Add(o Totals) {
+	t.Burned += o.Burned
+	t.Tipped += o.Tipped
+}
+
+// Sum returns burned + tipped.
+func (t Totals) Sum() uint64 { return t.Burned + t.Tipped }
+
+// Market is one chain's fee market state: the current base fee and the
+// fee ledger. It is driven by the chain's block builder — Charge once
+// per included transaction, then Seal once per block — and is not safe
+// for concurrent use (the simulation is single-threaded).
+type Market struct {
+	cfg     Config
+	baseFee uint64
+	total   Totals
+	byLabel map[string]*Totals
+}
+
+// New creates a market. maxBlockTxs is the hosting chain's block
+// capacity, used to derive the default fullness target.
+func New(cfg Config, maxBlockTxs int) *Market {
+	cfg = cfg.withDefaults(maxBlockTxs)
+	return &Market{
+		cfg:     cfg,
+		baseFee: cfg.Initial,
+		byLabel: make(map[string]*Totals),
+	}
+}
+
+// BaseFee returns the base fee the next block's transactions will burn.
+func (m *Market) BaseFee() uint64 { return m.baseFee }
+
+// Config returns the resolved configuration.
+func (m *Market) Config() Config { return m.cfg }
+
+// Charge records one included transaction: it burns the current base
+// fee and pays its tip, attributed to the transaction's label (the same
+// per-deal labels the gas meter uses). Failed transactions pay like
+// successful ones — they occupied block space.
+func (m *Market) Charge(label string, tip uint64) {
+	t := m.byLabel[label]
+	if t == nil {
+		t = &Totals{}
+		m.byLabel[label] = t
+	}
+	t.Burned += m.baseFee
+	t.Tipped += tip
+	m.total.Burned += m.baseFee
+	m.total.Tipped += tip
+}
+
+// Seal closes a block of `included` transactions and moves the base fee
+// for the next one: up when the block ran over target, down toward Min
+// when under, each move bounded by baseFee/AdjustQuotient and at least
+// 1 so the fee always reacts to sustained pressure.
+func (m *Market) Seal(included int) {
+	target := m.cfg.Target
+	switch {
+	case included > target:
+		delta := m.baseFee * uint64(included-target) / uint64(target) / m.cfg.AdjustQuotient
+		if delta < 1 {
+			delta = 1
+		}
+		m.baseFee += delta
+	case included < target:
+		delta := m.baseFee * uint64(target-included) / uint64(target) / m.cfg.AdjustQuotient
+		if delta < 1 {
+			delta = 1
+		}
+		if m.baseFee <= m.cfg.Min+delta {
+			m.baseFee = m.cfg.Min
+		} else {
+			m.baseFee -= delta
+		}
+	}
+}
+
+// Totals returns the market-wide fee ledger.
+func (m *Market) Totals() Totals { return m.total }
+
+// LabelTotals returns the fees attributed to one exact label.
+func (m *Market) LabelTotals(label string) Totals {
+	if t := m.byLabel[label]; t != nil {
+		return *t
+	}
+	return Totals{}
+}
+
+// PrefixTotals sums the fees of every label sharing a prefix — how
+// engine.DealFees attributes fees per deal on substrates shared by many
+// deals, whose labels are "dealID/phase". Iteration is over sorted
+// labels, so the fold order (and any float consumer downstream) is
+// deterministic.
+func (m *Market) PrefixTotals(prefix string) Totals {
+	labels := make([]string, 0, len(m.byLabel))
+	for l := range m.byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var out Totals
+	for _, l := range labels {
+		if len(l) >= len(prefix) && l[:len(prefix)] == prefix {
+			out.Add(*m.byLabel[l])
+		}
+	}
+	return out
+}

@@ -80,13 +80,18 @@ func (g *Generator) ArenaPopulation(a, count int, ao ArenaOptions) ([]arena.Deal
 }
 
 func (g *Generator) arenaPopOptions(a, count int, ao ArenaOptions) arena.PopOptions {
-	return arena.PopOptions{
+	po := arena.PopOptions{
 		Seed:          sim.Mix64(g.opts.Seed ^ sim.Mix64(uint64(a)+0x51ed270b941a9e37)),
 		Deals:         count,
 		Chains:        ao.Chains,
 		MaxParties:    g.opts.MaxParties,
 		AdversaryRate: g.opts.AdversaryRate,
 	}
+	if f := g.opts.Fees; f != nil {
+		po.FeeMarket = true
+		po.TipBudget = f.TipBudget
+	}
+	return po
 }
 
 // arenaRunOptions assembles one arena's world options.
@@ -95,13 +100,19 @@ func arenaRunOptions(gen GenOptions, ao ArenaOptions, arenaIdx int) (arena.Optio
 	if err != nil {
 		return arena.Options{}, err
 	}
-	return arena.Options{
+	o := arena.Options{
 		Seed:        sim.Mix64(gen.Seed ^ sim.Mix64(uint64(arenaIdx)+0x7fb5d329728ea185)),
 		Protocol:    proto,
 		Volatility:  ao.Volatility,
 		MaxBlockTxs: ao.MaxBlockTxs,
 		Baselines:   ao.Baselines,
-	}, nil
+	}
+	if f := gen.Fees; f != nil {
+		o.FeeMarket = true
+		o.BaseFee = f.BaseFee
+		o.TipBudget = f.TipBudget
+	}
+	return o, nil
 }
 
 // runArena synthesizes and executes arena a of a totalDeals population.
@@ -154,18 +165,25 @@ func sweepArenas(opts Options) (*Report, error) {
 	}
 
 	agg := NewAggregator()
+	feesOn := gen.opts.Fees != nil
+	if f := gen.opts.Fees; f != nil {
+		agg.EnableFees(f.BaseFee, f.TipBudget)
+	}
 	inter := &Interference{Arenas: nArenas, Chains: ao.Chains}
 	var inflation Sketch
 	for a, res := range results {
 		proto, _ := arenaProtocol(opts.Gen.Protocol, a)
 		for _, out := range res.Outcomes {
-			agg.Add(arenaRecord(a*ao.DealsPerArena+out.Index, proto, out))
+			agg.Add(arenaRecord(a*ao.DealsPerArena+out.Index, proto, out, feesOn))
 		}
 		inter.SoreLoserTriggers += res.Interference.SoreLoserTriggers
 		inter.SoreLoserDeals += res.Interference.SoreLoserDeals
 		inter.SoreLoserLoss += res.Interference.SoreLoserLoss
 		inter.FrontRunAttempts += res.Interference.FrontRunAttempts
 		inter.FrontRunWins += res.Interference.FrontRunWins
+		agg.AddFeeWorld(res.Fees)
+		agg.AddFeeRaces(res.Interference.FrontRunAttempts, res.Interference.FrontRunWins,
+			res.Interference.FeeBidAttempts, res.Interference.FeeBidWins)
 		for _, x := range res.Interference.InflationSamples {
 			inflation.Add(x)
 		}
@@ -208,9 +226,9 @@ func ReplayArenaDeal(opts Options, index int) (*arena.DealOutcome, error) {
 // aggregation currency. Index is population-global so a flagged deal
 // maps straight back to (arena, deal) for replay; gas is the deal's
 // label-attributed share of the shared chains.
-func arenaRecord(globalIndex int, protocol string, out arena.DealOutcome) Record {
+func arenaRecord(globalIndex int, protocol string, out arena.DealOutcome, feesOn bool) Record {
 	r := out.Result
-	return Record{
+	rec := Record{
 		Index:        globalIndex,
 		Seed:         out.Seed,
 		SpecID:       out.Spec.ID,
@@ -234,4 +252,10 @@ func arenaRecord(globalIndex int, protocol string, out arena.DealOutcome) Record
 		DeltaTime: out.ArenaDelta,
 		EndedAt:   int64(r.EndedAt),
 	}
+	if feesOn {
+		// Per-deal fee attribution only; world totals, samples, and
+		// race counters fold once per arena from the arena result.
+		rec.Fee = &FeeRecord{DealFees: out.Fees}
+	}
+	return rec
 }

@@ -6,6 +6,47 @@ import (
 	"xdeal/internal/engine"
 )
 
+// FeeOptions enables fee markets across a sweep: every generated world
+// gets EIP-1559-style chains (tip-ordered blocks, base fee tracking
+// block fullness), compliant parties escalate tips toward their
+// timelock deadlines, and the front-runner slot of the adversary mix
+// upgrades to a fee bidder that outbids its victims from TipBudget.
+// The report gains an ordering-games block.
+type FeeOptions struct {
+	// BaseFee is each chain's initial base fee (default 100).
+	BaseFee uint64
+	// TipBudget caps each fee bidder's total tip spend (default 400).
+	TipBudget uint64
+}
+
+func (f *FeeOptions) defaults() {
+	if f.BaseFee == 0 {
+		f.BaseFee = 100
+	}
+	if f.TipBudget == 0 {
+		f.TipBudget = 400
+	}
+}
+
+// FeeRecord is the fee-market slice of one deal run's outcome.
+type FeeRecord struct {
+	// DealFees is the spend attributable to this deal (burn + tips).
+	DealFees uint64 `json:"deal_fees"`
+	// Burned/Tipped total the run's world-wide fee flows; only filled
+	// for isolated worlds (arena sweeps fold their shared worlds'
+	// totals once per arena instead).
+	Burned uint64 `json:"burned,omitempty"`
+	Tipped uint64 `json:"tipped,omitempty"`
+	// Plain front-run races and fee-bid races run and won by this
+	// run's parties (isolated mode; arenas meter through Interference).
+	Races    int `json:"races,omitempty"`
+	RaceWins int `json:"race_wins,omitempty"`
+	Bids     int `json:"bids,omitempty"`
+	BidWins  int `json:"bid_wins,omitempty"`
+	// Samples holds (tip, queuing delay) per included transaction.
+	Samples []engine.FeeSample `json:"-"`
+}
+
 // Options configures a randomized fleet sweep (cmd/dealsweep mirrors
 // these as flags).
 type Options struct {
@@ -53,6 +94,10 @@ type Record struct {
 	DeltaTime float64 `json:"delta_time"` // decision completion in Δ units
 	EndedAt   int64   `json:"ended_at"`
 
+	// Fee carries the run's fee-market outcome; nil without a fee
+	// market.
+	Fee *FeeRecord `json:"fee,omitempty"`
+
 	Err string `json:"error,omitempty"`
 }
 
@@ -82,6 +127,19 @@ func record(job Job, r *engine.Result) Record {
 		CBCGas:    r.CBCGas,
 		DeltaTime: r.Phases.InDelta(r.Phases.DecisionEnd, job.Spec.Delta),
 		EndedAt:   int64(r.EndedAt),
+	}
+	if r.Fees != nil {
+		fee := &FeeRecord{
+			DealFees: r.DealFees,
+			Burned:   r.Fees.Burned,
+			Tipped:   r.Fees.Tipped,
+			Samples:  r.Fees.Samples,
+		}
+		if t := job.races; t != nil {
+			fee.Races, fee.RaceWins = t.races, t.raceWins
+			fee.Bids, fee.BidWins = t.bids, t.bidWins
+		}
+		rec.Fee = fee
 	}
 	return rec
 }
@@ -133,6 +191,9 @@ func Sweep(opts Options) (*Report, error) {
 		return nil, err
 	}
 	agg := NewAggregator()
+	if f := gen.opts.Fees; f != nil {
+		agg.EnableFees(f.BaseFee, f.TipBudget)
+	}
 	Stream(gen, opts.Deals, opts.Workers, agg)
 	return agg.Report(), nil
 }

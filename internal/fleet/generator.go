@@ -6,6 +6,7 @@ import (
 	"xdeal/internal/chain"
 	"xdeal/internal/deal"
 	"xdeal/internal/engine"
+	"xdeal/internal/feemarket"
 	"xdeal/internal/party"
 	"xdeal/internal/sim"
 )
@@ -34,6 +35,13 @@ type GenOptions struct {
 	// MaxParties caps ring/dense/random deal sizes; minimum 3,
 	// default 6. Rings still start at 2 parties (the swap case).
 	MaxParties int
+	// Fees, when non-nil, enables fee markets across the sweep: every
+	// world's chains gain tip-ordered blocks with an EIP-1559 base fee,
+	// isolated worlds get a block-capacity cap so ordering matters, and
+	// the adversary catalog gains a fee-bidding front-runner. The flag
+	// path consumes randomness only for the extra catalog entry, so a
+	// fee-market population's deals keep their FIFO twins' shapes.
+	Fees *FeeOptions
 }
 
 // Job is one fully specified deal execution: a spec plus engine options,
@@ -53,6 +61,16 @@ type Job struct {
 	// transfer phase and aborts safely — a legitimate outcome, so
 	// Property 3 (strong liveness) is only asserted when Sequenceable.
 	Sequenceable bool
+
+	// races meters the run's front-run and fee-bid outcomes (fee-market
+	// sweeps only); the job's adaptive hooks write it during the run.
+	races *raceTally
+}
+
+// raceTally accumulates one run's race outcomes.
+type raceTally struct {
+	races, raceWins int
+	bids, bidWins   int
 }
 
 // Generator synthesizes randomized deal scenarios deterministically.
@@ -81,6 +99,11 @@ func NewGenerator(opts GenOptions) (*Generator, error) {
 	}
 	if opts.MaxParties < 3 {
 		opts.MaxParties = 3
+	}
+	if opts.Fees != nil {
+		f := *opts.Fees // normalize a private copy
+		f.defaults()
+		opts.Fees = &f
 	}
 	return &Generator{opts: opts}, nil
 }
@@ -131,8 +154,35 @@ func (g *Generator) Job(i int) Job {
 		opts.Delays = chain.SyncPolicy{Min: delta / 20, Max: delta/20 + sim.Duration(rng.Intn(int(delta)/5))}
 	}
 
+	// Fee market: tip-ordered capped blocks, so queue position is won by
+	// bidding rather than arrival; the job meters its races for the
+	// ordering-games report.
+	if f := g.opts.Fees; f != nil {
+		opts.FeeMarket = &feemarket.Config{Initial: f.BaseFee}
+		if opts.MaxBlockTxs == 0 {
+			opts.MaxBlockTxs = 8
+		}
+		tally := &raceTally{}
+		job.races = tally
+		opts.Adaptive = &party.AdaptiveHooks{
+			OnFrontRun: func(_ chain.Addr, _ string, bid uint64, won bool) {
+				if bid > 0 {
+					tally.bids++
+					if won {
+						tally.bidWins++
+					}
+					return
+				}
+				tally.races++
+				if won {
+					tally.raceWins++
+				}
+			},
+		}
+	}
+
 	// Adversary mix.
-	catalog := deviationCatalog(job.Spec)
+	catalog := deviationCatalog(job.Spec, g.opts.Fees)
 	opts.Behaviors = make(map[chain.Addr]party.Behavior)
 	for _, p := range job.Spec.Parties {
 		if rng.Bool(g.opts.AdversaryRate) {
@@ -232,9 +282,9 @@ func (g *Generator) buildSpec(shape string, rng *sim.RNG, delta sim.Duration) *d
 // voter stays engine-compliant (path-scaled timeouts tolerate it) but
 // can still abort a deal, so its runs are likewise excluded from the
 // strong-liveness (Property 3) slice via the Adversaries count.
-func deviationCatalog(spec *deal.Spec) []party.Behavior {
+func deviationCatalog(spec *deal.Spec, fees *FeeOptions) []party.Behavior {
 	t0, delta := spec.T0, spec.Delta
-	return []party.Behavior{
+	catalog := []party.Behavior{
 		{SkipEscrow: true},
 		{SkipTransfers: true},
 		{SkipVoting: true},
@@ -248,4 +298,12 @@ func deviationCatalog(spec *deal.Spec) []party.Behavior {
 		{CorruptInfo: true},
 		{EscrowShortfall: 3},
 	}
+	if fees != nil {
+		// Fee-market sweeps add the ordering-game adversary: a
+		// front-runner that outbids the transactions it races.
+		catalog = append(catalog, party.Behavior{
+			FrontRun: true, FeeBid: true, FeeBudget: fees.TipBudget,
+		})
+	}
+	return catalog
 }

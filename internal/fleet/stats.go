@@ -7,6 +7,8 @@ import (
 	"math"
 	"sort"
 	"text/tabwriter"
+
+	"xdeal/internal/engine"
 )
 
 // Dist summarizes a sample distribution with percentiles.
@@ -217,6 +219,11 @@ type Report struct {
 	// metrics; nil outside arena mode.
 	Interference *Interference `json:"interference,omitempty"`
 
+	// OrderingGames carries the fee-market metrics; nil unless the
+	// sweep ran with fee markets enabled. Present in both isolated and
+	// arena sweeps.
+	OrderingGames *OrderingGames `json:"ordering_games,omitempty"`
+
 	// ReplayCommand, when set by the caller, is a printf format with one
 	// %d verb for a deal index; Fprint uses it to print a ready-to-paste
 	// replay command next to each flagged violation. Not serialized.
@@ -243,6 +250,182 @@ type Interference struct {
 	FrontRunWins     int `json:"front_run_wins"`
 }
 
+// OrderingGames summarizes a fee-market sweep: what block space cost,
+// who paid for position, and whether bidding for it beat merely racing
+// for it.
+type OrderingGames struct {
+	// BaseFee and TipBudget echo the sweep's fee configuration.
+	BaseFee   uint64 `json:"base_fee"`
+	TipBudget uint64 `json:"tip_budget"`
+	// FeesBurned / FeesTipped total the population's fee flows.
+	FeesBurned uint64 `json:"fees_burned"`
+	FeesTipped uint64 `json:"fees_tipped"`
+	// FeePerCommit is the mean fee spend attributable to each committed
+	// deal — the cost-of-commerce gate CI budgets against.
+	CommittedDeals int     `json:"committed_deals"`
+	FeePerCommit   float64 `json:"fee_per_commit"`
+	// Plain gossip races vs fee-bid races, run and won. Fee bidders
+	// outbid the transactions they race, so their win rate should
+	// dominate the plain racers' on the same seeds.
+	FrontRunAttempts int `json:"front_run_attempts"`
+	FrontRunWins     int `json:"front_run_wins"`
+	FeeBidAttempts   int `json:"fee_bid_attempts"`
+	FeeBidWins       int `json:"fee_bid_wins"`
+	// InclusionDelay distributes mempool queuing delay by tip decile
+	// (deciles of included transactions ranked by tip, ascending —
+	// higher deciles should wait less; empty deciles are merged into
+	// the next non-empty one).
+	InclusionDelay []TipDecile `json:"inclusion_delay_by_tip_decile"`
+}
+
+// WinRate returns wins/attempts (0 for none).
+func winRate(wins, attempts int) float64 {
+	if attempts == 0 {
+		return 0
+	}
+	return float64(wins) / float64(attempts)
+}
+
+// FrontRunWinRate is the plain gossip racers' win rate.
+func (o *OrderingGames) FrontRunWinRate() float64 {
+	return winRate(o.FrontRunWins, o.FrontRunAttempts)
+}
+
+// FeeBidWinRate is the fee bidders' win rate.
+func (o *OrderingGames) FeeBidWinRate() float64 {
+	return winRate(o.FeeBidWins, o.FeeBidAttempts)
+}
+
+// TipDecile is one tip decile's queuing-delay summary.
+type TipDecile struct {
+	Decile    int     `json:"decile"`  // 1..10, by ascending tip rank
+	MaxTip    uint64  `json:"max_tip"` // largest tip in the decile
+	Count     int     `json:"count"`
+	MeanDelay float64 `json:"mean_delay"` // mean ticks queued before inclusion
+}
+
+// feeAgg folds fee-market observations in constant memory: totals,
+// race counters, and a tip-keyed delay histogram (tips are small
+// integers bounded by the bid budget, so the key space stays tiny).
+type feeAgg struct {
+	baseFee, tipBudget uint64
+	burned, tipped     uint64
+	commitFees         uint64
+	commits            int
+	races, raceWins    int
+	bids, bidWins      int
+	tipDelay           map[uint64]*tipDelayAgg
+}
+
+type tipDelayAgg struct {
+	count    int
+	delaySum int64
+}
+
+// EnableFees arms the ordering-games block: the report will carry it
+// even for an empty population, echoing the sweep's fee configuration.
+func (a *Aggregator) EnableFees(baseFee, tipBudget uint64) {
+	if a.fees == nil {
+		a.fees = &feeAgg{tipDelay: make(map[uint64]*tipDelayAgg)}
+	}
+	a.fees.baseFee, a.fees.tipBudget = baseFee, tipBudget
+}
+
+// AddFeeWorld folds one shared world's fee summary (arena mode: totals
+// and samples are per-substrate, not per-deal, so they fold once per
+// arena in arena order).
+func (a *Aggregator) AddFeeWorld(fees *engine.FeeSummary) {
+	if fees == nil || a.fees == nil {
+		return
+	}
+	a.fees.burned += fees.Burned
+	a.fees.tipped += fees.Tipped
+	a.fees.addSamples(fees.Samples)
+}
+
+// AddFeeRaces folds race counters metered outside records (arena mode).
+func (a *Aggregator) AddFeeRaces(races, raceWins, bids, bidWins int) {
+	if a.fees == nil {
+		return
+	}
+	a.fees.races += races
+	a.fees.raceWins += raceWins
+	a.fees.bids += bids
+	a.fees.bidWins += bidWins
+}
+
+func (f *feeAgg) addSamples(samples []engine.FeeSample) {
+	for _, s := range samples {
+		t := f.tipDelay[s.Tip]
+		if t == nil {
+			t = &tipDelayAgg{}
+			f.tipDelay[s.Tip] = t
+		}
+		t.count++
+		t.delaySum += s.Queued
+	}
+}
+
+// orderingGames finalizes the block.
+func (f *feeAgg) orderingGames() *OrderingGames {
+	o := &OrderingGames{
+		BaseFee:          f.baseFee,
+		TipBudget:        f.tipBudget,
+		FeesBurned:       f.burned,
+		FeesTipped:       f.tipped,
+		CommittedDeals:   f.commits,
+		FrontRunAttempts: f.races,
+		FrontRunWins:     f.raceWins,
+		FeeBidAttempts:   f.bids,
+		FeeBidWins:       f.bidWins,
+	}
+	if f.commits > 0 {
+		o.FeePerCommit = float64(f.commitFees) / float64(f.commits)
+	}
+	o.InclusionDelay = f.deciles()
+	return o
+}
+
+// deciles splits the tip-keyed histogram into deciles of included
+// transactions ranked by tip. Whole tip buckets are assigned to a
+// decile until its share of the population is reached, so equal tips
+// never straddle a boundary; deciles left empty by a large bucket are
+// merged into the decile that swallowed them.
+func (f *feeAgg) deciles() []TipDecile {
+	tips := make([]uint64, 0, len(f.tipDelay))
+	total := 0
+	for tip, agg := range f.tipDelay {
+		tips = append(tips, tip)
+		total += agg.count
+	}
+	if total == 0 {
+		return nil
+	}
+	sort.Slice(tips, func(i, j int) bool { return tips[i] < tips[j] })
+	var out []TipDecile
+	cum, d := 0, 1
+	cur := TipDecile{Decile: d}
+	var curDelay int64
+	boundary := func(d int) int { return (d*total + 9) / 10 } // ceil(d·total/10)
+	for _, tip := range tips {
+		agg := f.tipDelay[tip]
+		cur.Count += agg.count
+		cur.MaxTip = tip
+		curDelay += agg.delaySum
+		cum += agg.count
+		for d <= 10 && cum >= boundary(d) {
+			d++
+		}
+		if d > cur.Decile {
+			cur.MeanDelay = float64(curDelay) / float64(cur.Count)
+			out = append(out, cur)
+			cur = TipDecile{Decile: d}
+			curDelay = 0
+		}
+	}
+	return out
+}
+
 // maxViolations bounds the violation list so even a population where
 // everything is on fire aggregates in constant memory.
 const maxViolations = 1000
@@ -253,6 +436,7 @@ const maxViolations = 1000
 type Aggregator struct {
 	rep        *Report
 	gas, dtime Sketch
+	fees       *feeAgg // nil unless EnableFees armed the ordering block
 }
 
 // NewAggregator returns an empty aggregator.
@@ -281,6 +465,20 @@ func (a *Aggregator) Add(r Record) {
 			a.dtime.Add(r.DeltaTime)
 		}
 	}
+	if r.Fee != nil && a.fees != nil {
+		f := a.fees
+		f.burned += r.Fee.Burned
+		f.tipped += r.Fee.Tipped
+		f.races += r.Fee.Races
+		f.raceWins += r.Fee.RaceWins
+		f.bids += r.Fee.Bids
+		f.bidWins += r.Fee.BidWins
+		f.addSamples(r.Fee.Samples)
+		if r.Committed {
+			f.commits++
+			f.commitFees += r.Fee.DealFees
+		}
+	}
 	for _, v := range r.SafetyViolations {
 		rep.flag(r, "safety (P1)", v)
 	}
@@ -300,6 +498,9 @@ func (a *Aggregator) Add(r Record) {
 func (a *Aggregator) Report() *Report {
 	a.rep.Gas = a.gas.Dist()
 	a.rep.DeltaTime = a.dtime.Dist()
+	if a.fees != nil {
+		a.rep.OrderingGames = a.fees.orderingGames()
+	}
 	return a.rep
 }
 
@@ -387,6 +588,24 @@ func (rep *Report) Fprint(w io.Writer) {
 			inf.SoreLoserTriggers, inf.SoreLoserDeals, inf.SoreLoserLoss)
 		fmt.Fprintf(w, "  front-running: %d mempool races, %d won\n",
 			inf.FrontRunAttempts, inf.FrontRunWins)
+	}
+
+	if og := rep.OrderingGames; og != nil {
+		fmt.Fprintf(w, "\nordering games (fee market: base fee %d, tip budget %d):\n", og.BaseFee, og.TipBudget)
+		fmt.Fprintf(w, "  fees: %d burned, %d tipped; %.1f per committed deal (%d committed)\n",
+			og.FeesBurned, og.FeesTipped, og.FeePerCommit, og.CommittedDeals)
+		fmt.Fprintf(w, "  races: plain %d/%d won (%.1f%%), fee-bid %d/%d won (%.1f%%)\n",
+			og.FrontRunWins, og.FrontRunAttempts, 100*og.FrontRunWinRate(),
+			og.FeeBidWins, og.FeeBidAttempts, 100*og.FeeBidWinRate())
+		if len(og.InclusionDelay) > 0 {
+			fmt.Fprintf(w, "  inclusion delay by tip decile:\n")
+			dtw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(dtw, "    decile\tmax tip\ttxs\tmean delay")
+			for _, td := range og.InclusionDelay {
+				fmt.Fprintf(dtw, "    d%d\t%d\t%d\t%.1f\n", td.Decile, td.MaxTip, td.Count, td.MeanDelay)
+			}
+			dtw.Flush()
+		}
 	}
 
 	if total := len(rep.Violations) + rep.ViolationsTruncated; total > 0 {

@@ -37,9 +37,11 @@ type AdaptiveHooks struct {
 	// its deal because tok's price drifted by drift (fractional).
 	OnSoreLoser func(p chain.Addr, tok chain.Addr, drift float64)
 	// OnFrontRun reports a front-run race: party p raced an observed
-	// pending transaction with method; won is whether p's transaction
-	// executed successfully (it beat the victim to the state change).
-	OnFrontRun func(p chain.Addr, method string, won bool)
+	// pending transaction with method; bid is the tip it attached (zero
+	// for plain gossip racers on FIFO chains, the overbid for fee
+	// bidders); won is whether p's transaction executed successfully
+	// (it beat the victim to the state change).
+	OnFrontRun func(p chain.Addr, method string, bid uint64, won bool)
 }
 
 // backedOut reports whether an adaptive trigger has fired: the party has
@@ -164,14 +166,15 @@ func (p *Party) armFrontRunner() {
 	}
 }
 
-// race reacts to one observed pending transaction.
+// race reacts to one observed pending transaction. The gossip carries
+// the victim's tip, which is what a fee bidder outbids.
 func (p *Party) race(ptx chain.PendingTx) {
 	switch args := ptx.Args.(type) {
 	case timelock.CommitArgs:
 		if p.cfg.Protocol != ProtoTimelock || args.Deal != p.cfg.Spec.ID {
 			return
 		}
-		p.raceVote(args.Vote)
+		p.raceVote(args.Vote, ptx.Tip)
 	case cbc.ProofArgs:
 		if p.cfg.Protocol != ProtoCBC || args.Deal != p.cfg.Spec.ID {
 			return
@@ -180,7 +183,7 @@ func (p *Party) race(ptx chain.PendingTx) {
 		if ptx.Method == cbc.MethodAbortProof {
 			status = escrow.StatusAborted
 		}
-		p.raceClaim(status)
+		p.raceClaim(status, ptx.Tip)
 	}
 }
 
@@ -188,20 +191,20 @@ func (p *Party) race(ptx chain.PendingTx) {
 // that has not accepted it yet — the same forwarding duty as
 // onTimelockEvent, but reacting to gossip instead of an accepted-vote
 // event, so the front-runner's copy can reach the contract first.
-func (p *Party) raceVote(vote sig.PathSig) {
+func (p *Party) raceVote(vote sig.PathSig, victimTip uint64) {
 	if vote.Contains(string(p.Addr)) {
 		return // our own signature is already on the path
 	}
 	incoming, _ := p.cfg.Spec.EscrowsTouching(p.Addr)
 	for _, a := range incoming {
-		p.forwardVote(a, vote, true)
+		p.forwardVote(a, vote, true, victimTip)
 	}
 }
 
 // raceClaim presents the CBC's decision to the party's escrow contracts
 // in reaction to a counterparty's pending proof transaction. The party
 // only claims an outcome it can verify the CBC actually decided.
-func (p *Party) raceClaim(status escrow.Status) {
+func (p *Party) raceClaim(status escrow.Status, victimTip uint64) {
 	st := p.cbcState
 	if st == nil || !st.started {
 		return
@@ -210,5 +213,5 @@ func (p *Party) raceClaim(status escrow.Status) {
 	if d == nil || d.Status != status {
 		return
 	}
-	p.claimOutcome(status, true)
+	p.claimOutcome(status, true, victimTip)
 }

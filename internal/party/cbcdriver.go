@@ -89,7 +89,7 @@ func (p *Party) onCBCBlock(b *cbc.Block) {
 	}
 	// Public readability: the party checks the deal's decision state.
 	if d := p.cfg.CBCHooks.CBC.Deal(p.cfg.Spec.ID); d != nil && d.Status != escrow.StatusActive {
-		p.claimOutcome(d.Status, false)
+		p.claimOutcome(d.Status, false, 0)
 	}
 }
 
@@ -187,8 +187,10 @@ func (p *Party) scheduleGiveUp() {
 // diligence); abort proofs go to the contracts holding its deposits (it
 // wants its refund). raced marks claims made to front-run an observed
 // pending proof transaction; their receipts are reported as race
-// outcomes (success = this claim finalized the escrow first).
-func (p *Party) claimOutcome(status escrow.Status, raced bool) {
+// outcomes (success = this claim finalized the escrow first), and
+// victimTip is the raced transaction's gossiped tip for fee bidders to
+// outbid.
+func (p *Party) claimOutcome(status escrow.Status, raced bool, victimTip uint64) {
 	st := p.cbcState
 	spec := p.cfg.Spec
 	method := cbc.MethodCommitProof
@@ -209,6 +211,10 @@ func (p *Party) claimOutcome(status escrow.Status, raced bool) {
 		a := a
 		key := a.Key()
 		if st.claimed[key] {
+			continue
+		}
+		c, ok := p.cfg.Chains[a.Chain]
+		if !ok {
 			continue
 		}
 		st.claimed[key] = true
@@ -232,10 +238,22 @@ func (p *Party) claimOutcome(status escrow.Status, raced bool) {
 		if status == escrow.StatusAborted {
 			label = LabelAbort
 		}
+		// Price the race only once the proof is in hand, so a failed
+		// proof fetch cannot leak fee budget on a never-submitted claim.
+		tip := p.tipFor(c, label)
+		var bid uint64
+		if raced {
+			var race bool
+			tip, bid, race = p.raceTip(c, label, victimTip)
+			if !race {
+				st.claimed[key] = false
+				continue // fee budget exhausted: decline the race
+			}
+		}
 		hooks := p.cfg.Adaptive
-		p.submit(a, method, label, args, func(r *chain.Receipt) {
+		p.submitTx(c, a.Escrow, method, label, args, tip, func(r *chain.Receipt) {
 			if raced && hooks != nil && hooks.OnFrontRun != nil {
-				hooks.OnFrontRun(p.Addr, method, r.Err == nil)
+				hooks.OnFrontRun(p.Addr, method, bid, r.Err == nil)
 			}
 			// On error, someone else finalized first; that is fine.
 		})

@@ -1,0 +1,119 @@
+package party
+
+import (
+	"xdeal/internal/chain"
+	"xdeal/internal/sim"
+)
+
+// This file implements party-side fee strategy: how much priority tip a
+// party attaches to its protocol transactions on chains with a fee
+// market, and the fee-bidding front-runner that weaponizes tips.
+//
+// Tips buy block position, and block position is protocol time: a vote
+// that slips past its timelock deadline because it sat in a congested
+// mempool is worthless, so a rational compliant party bids more the
+// closer its deadline looms. A fee-bidding adversary plays the same
+// game offensively — it outbids the specific transactions it races.
+
+// FeeEstimator decides the priority tip a party attaches to a protocol
+// transaction. Implementations must be pure functions of their inputs:
+// the estimator is consulted inside deterministic simulations.
+type FeeEstimator interface {
+	// Tip returns the tip for a transaction with phase label `label`,
+	// given the target chain's current base fee and the party's
+	// deadline pressure: urgency runs from 0 (deal just started) to 1
+	// (the deal's overall timelock deadline has arrived).
+	Tip(baseFee uint64, label string, urgency float64) uint64
+}
+
+// FlatFee tips a constant amount on every transaction.
+type FlatFee struct {
+	Amount uint64
+}
+
+// Tip implements FeeEstimator.
+func (f FlatFee) Tip(_ uint64, _ string, _ float64) uint64 { return f.Amount }
+
+// DeadlineFee escalates tips linearly with deadline pressure: Start at
+// deal start, Max as the timelock deadline arrives. This is the
+// compliant strategy — a party's vote is worth more than its tip the
+// moment missing one more block would time the vote out.
+type DeadlineFee struct {
+	Start uint64
+	Max   uint64
+}
+
+// Tip implements FeeEstimator.
+func (f DeadlineFee) Tip(_ uint64, _ string, urgency float64) uint64 {
+	if f.Max <= f.Start {
+		return f.Start
+	}
+	if urgency < 0 {
+		urgency = 0
+	}
+	if urgency > 1 {
+		urgency = 1
+	}
+	return f.Start + uint64(float64(f.Max-f.Start)*urgency+0.5)
+}
+
+// urgency is the party's deadline pressure: how far it is through the
+// window from deal start to the overall timelock deadline t0 + (N+1)·Δ
+// (the same horizon the refund poke uses). Pure in (clock, spec).
+func (p *Party) urgency() float64 {
+	spec := p.cfg.Spec
+	deadline := spec.T0 + sim.Time(len(spec.Parties)+1)*spec.Delta
+	if deadline <= p.startedAt {
+		return 1
+	}
+	u := float64(p.cfg.Sched.Now()-p.startedAt) / float64(deadline-p.startedAt)
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// tipFor consults the party's fee estimator for a transaction bound to
+// chain c. Parties without an estimator (or chains without a fee
+// market) tip nothing.
+func (p *Party) tipFor(c *chain.Chain, label string) uint64 {
+	if p.cfg.Fees == nil {
+		return 0
+	}
+	var base uint64
+	if fm := c.FeeMarket(); fm != nil {
+		base = fm.BaseFee()
+	} else {
+		return 0
+	}
+	return p.cfg.Fees.Tip(base, label, p.urgency())
+}
+
+// raceTip prices one raced submission. A plain front-runner races at
+// its ordinary policy tip (bid 0: it is not playing the bidding game,
+// whatever its tip happens to be). A fee bidder (Behavior.FeeBid, on a
+// chain with a fee market) outbids the observed victim transaction by
+// one, so the block builder orders its race first; each bid spends from
+// FeeBudget, and a bidder whose budget cannot cover the overbid
+// declines the race — an underbid sorts behind the victim and loses by
+// construction, so the rational move is to keep the budget for a race
+// it can win. Returns the tip to attach, the bid to report through the
+// adaptive hooks (0 for plain races, so metering classifies by
+// strategy rather than by incidental tip), and whether to race at all.
+func (p *Party) raceTip(c *chain.Chain, label string, victimTip uint64) (tip, bid uint64, ok bool) {
+	if !p.cfg.Behavior.FeeBid || c.FeeMarket() == nil {
+		return p.tipFor(c, label), 0, true
+	}
+	bid = victimTip + 1
+	if budget := p.cfg.Behavior.FeeBudget; budget > 0 && p.feeSpent+bid > budget {
+		return 0, 0, false
+	}
+	p.feeSpent += bid
+	return bid, bid, true
+}
+
+// FeeSpent reports the tips the party has committed to races so far.
+func (p *Party) FeeSpent() uint64 { return p.feeSpent }

@@ -97,6 +97,15 @@ type Behavior struct {
 	// stays compliant — but it perturbs who pays gas and when deals
 	// finalize, which is why the arena counts it as an adversary.
 	FrontRun bool
+	// FeeBid upgrades a front-runner to fee bidding (needs FrontRun and
+	// a chain fee market to matter): instead of merely reacting faster,
+	// it attaches a tip one above the observed victim transaction's, so
+	// the block builder orders its race ahead of the transaction it is
+	// racing. Each bid spends from FeeBudget; when the budget cannot
+	// cover an overbid the party declines the race.
+	FeeBid bool
+	// FeeBudget caps a fee bidder's total tip spend; 0 means unlimited.
+	FeeBudget uint64
 	// Grief makes the party a griefing depositor: it escrows normally,
 	// then ceases all further participation the moment it observes a
 	// counterparty's deposit — maximizing how long others' assets stay
@@ -131,6 +140,11 @@ type Config struct {
 	// LabelPrefix prefixes every transaction label the party emits, so
 	// gas stays attributable per deal on chains shared by many deals.
 	LabelPrefix string
+	// Fees decides the priority tip attached to each protocol
+	// transaction on chains with a fee market (see fees.go). Nil tips
+	// nothing; the engine installs a DeadlineFee default when the
+	// world's fee market is enabled.
+	Fees FeeEstimator
 	// CBCHooks is set for ProtoCBC parties (see cbcdriver.go).
 	CBCHooks *CBCHooks
 	// Adaptive wires reactive adversary strategies to arena-level state
@@ -175,6 +189,10 @@ type Party struct {
 	griefed    bool // griefer trigger fired: cease duties
 	basePrices map[chain.Addr]float64
 
+	// Fee strategy state (see fees.go).
+	startedAt sim.Time // deal start, anchors deadline urgency
+	feeSpent  uint64   // tips committed by the fee bidder so far
+
 	unsubs []func()
 }
 
@@ -205,6 +223,7 @@ func (p *Party) Validated() bool { return p.validated }
 // Start begins protocol execution: the market-clearing service has
 // broadcast the deal and the party decides to participate.
 func (p *Party) Start() {
+	p.startedAt = p.cfg.Sched.Now()
 	if p.cfg.Behavior.CrashAt > 0 {
 		p.cfg.Sched.At(p.cfg.Behavior.CrashAt, func() { p.crashed = true })
 	}
@@ -235,7 +254,7 @@ func (p *Party) wake() {
 	p.checkValidation()
 	if p.cfg.Protocol == ProtoCBC && p.cbcState != nil && p.cbcState.started {
 		if d := p.cfg.CBCHooks.CBC.Deal(p.cfg.Spec.ID); d != nil && d.Status != escrow.StatusActive {
-			p.claimOutcome(d.Status, false)
+			p.claimOutcome(d.Status, false, 0)
 		}
 	}
 }
@@ -341,18 +360,26 @@ func (p *Party) escrowView(a deal.AssetRef) (escrow.View, bool) {
 	return v, ok
 }
 
-// submit publishes a transaction on the chain hosting the asset.
+// submit publishes a transaction on the chain hosting the asset, tipped
+// by the party's fee estimator.
 func (p *Party) submit(a deal.AssetRef, method, label string, args any, onReceipt func(*chain.Receipt)) {
 	c, ok := p.cfg.Chains[a.Chain]
 	if !ok {
 		return
 	}
+	p.submitTx(c, a.Escrow, method, label, args, p.tipFor(c, label), onReceipt)
+}
+
+// submitTx publishes with an explicit tip (the fee bidder's race path
+// overrides the estimator with its counterbid).
+func (p *Party) submitTx(c *chain.Chain, contract chain.Addr, method, label string, args any, tip uint64, onReceipt func(*chain.Receipt)) {
 	c.Submit(&chain.Tx{
 		Sender:   p.Addr,
-		Contract: a.Escrow,
+		Contract: contract,
 		Method:   method,
 		Args:     args,
 		Label:    p.cfg.LabelPrefix + label,
+		Tip:      tip,
 		OnReceipt: func(r *chain.Receipt) {
 			if onReceipt != nil {
 				onReceipt(r)

@@ -84,7 +84,7 @@ func (p *Party) onTimelockEvent(ev chain.Event) {
 		if a.Key() == seenAt {
 			continue
 		}
-		p.forwardVote(a, data.Vote, false)
+		p.forwardVote(a, data.Vote, false, 0)
 	}
 }
 
@@ -94,12 +94,32 @@ func (p *Party) onTimelockEvent(ev chain.Event) {
 // path (reacting to accepted-vote events) and the front-runner
 // (reacting to mempool gossip) go through here; raced marks races,
 // whose receipts are reported through the adaptive hooks — success
-// means the racer's copy beat the transaction it reacted to.
-func (p *Party) forwardVote(a deal.AssetRef, vote sig.PathSig, raced bool) {
+// means the racer's copy beat the transaction it reacted to. victimTip
+// is the raced transaction's gossiped tip, which a fee bidder outbids.
+func (p *Party) forwardVote(a deal.AssetRef, vote sig.PathSig, raced bool, victimTip uint64) {
 	voter := chain.Addr(vote.Voter)
 	key := a.Key()
 	if p.acceptedAt[key][voter] || p.forwarded[key][voter] {
 		return
+	}
+	c, ok := p.cfg.Chains[a.Chain]
+	if !ok {
+		return
+	}
+	tip := p.tipFor(c, LabelCommit)
+	var onReceipt func(*chain.Receipt)
+	if raced {
+		raceTip, bid, race := p.raceTip(c, LabelCommit, victimTip)
+		if !race {
+			return // fee budget exhausted: decline rather than underbid
+		}
+		tip = raceTip
+		hooks := p.cfg.Adaptive
+		onReceipt = func(r *chain.Receipt) {
+			if hooks != nil && hooks.OnFrontRun != nil {
+				hooks.OnFrontRun(p.Addr, timelock.MethodCommit, bid, r.Err == nil)
+			}
+		}
 	}
 	fw := p.forwarded[key]
 	if fw == nil {
@@ -107,18 +127,9 @@ func (p *Party) forwardVote(a deal.AssetRef, vote sig.PathSig, raced bool) {
 		p.forwarded[key] = fw
 	}
 	fw[voter] = true
-	var onReceipt func(*chain.Receipt)
-	if raced {
-		hooks := p.cfg.Adaptive
-		onReceipt = func(r *chain.Receipt) {
-			if hooks != nil && hooks.OnFrontRun != nil {
-				hooks.OnFrontRun(p.Addr, timelock.MethodCommit, r.Err == nil)
-			}
-		}
-	}
-	p.submit(a, timelock.MethodCommit, LabelCommit, timelock.CommitArgs{
+	p.submitTx(c, a.Escrow, timelock.MethodCommit, LabelCommit, timelock.CommitArgs{
 		Deal: p.cfg.Spec.ID, Vote: vote.Forward(string(p.Addr), p.cfg.Keys),
-	}, onReceipt)
+	}, tip, onReceipt)
 }
 
 // markAccepted records that an escrow contract has accepted a vote.

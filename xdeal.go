@@ -142,6 +142,15 @@ type (
 	// and Δ-time percentiles, flagged property violations, and (in
 	// arena mode) interference metrics.
 	SweepReport = fleet.Report
+	// FeeOptions enables fee markets across a sweep (GenOptions.Fees):
+	// EIP-1559-style chains with tip-ordered blocks, deadline-escalating
+	// compliant tips, and budget-capped fee-bidding front-runners. The
+	// report gains an OrderingGames block (fees burned/tipped, fee per
+	// committed deal, plain vs fee-bid race win rates, inclusion delay
+	// by tip decile).
+	FeeOptions = fleet.FeeOptions
+	// OrderingGames is the fee-market block of a sweep report.
+	OrderingGames = fleet.OrderingGames
 )
 
 // Sweep synthesizes a randomized population of deals from the master
