@@ -33,12 +33,25 @@
 //	dealsweep -deals 200 -seed 7 -feemarket
 //	dealsweep -arena -deals 200 -seed 7 -feemarket -base-fee 50 -tip-budget 800
 //
+// Hedge mode (-hedge, arena only) arms the sore-loser defense of Xue &
+// Herlihy: every fungible escrow gains a premium-priced insurance
+// contract, the compliant mix slots refuse to lock unhedged deposits
+// (collateral = deposit × -hedge-collateral, premiums priced off each
+// chain's realized base-fee volatility over -premium-vol-window
+// blocks), and the report gains a hedging block — premiums, payouts,
+// gross vs residual sore-loser loss, and premium cost by base-fee-
+// volatility decile.
+//
+//	dealsweep -arena -deals 200 -seed 7 -feemarket -hedge
+//	dealsweep -arena -deals 200 -seed 7 -feemarket -hedge -hedge-collateral 1.5
+//
 // Budgets turn the sweep into a CI gate: -budget-p99-delta and
 // -budget-p99-gas fail the run (exit 1) when the population's p99
 // decision latency (in Δ units) or p99 per-deal gas exceeds the budget,
-// and -budget-fee-per-commit gates the fee-market cost of a committed
-// deal, so performance regressions fail CI alongside property
-// violations.
+// -budget-fee-per-commit gates the fee-market cost of a committed deal,
+// and -budget-residual-loss gates the residual sore-loser loss a hedged
+// sweep may leave unabsorbed — so performance and defense regressions
+// fail CI alongside property violations.
 //
 // The report depends only on (-seed, -deals, generator flags) — never
 // on -workers — so sweeps are reproducible; a violation flagged at
@@ -52,109 +65,92 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"xdeal/internal/engine"
 	"xdeal/internal/fleet"
 )
 
-// replay re-executes one generated scenario in full detail: the deal
-// matrix, the settlement summary, and any property violations. This is
-// the debugging path for a violation the sweep flagged.
-func replay(gen fleet.GenOptions, index int) int {
-	g, err := fleet.NewGenerator(gen)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dealsweep: %v\n", err)
-		return 2
-	}
-	job := g.Job(index)
-	fmt.Printf("replay deal %d (seed %d): %s — shape %s, protocol %s, %d adversaries, outage %v\n\n",
-		job.Index, job.Seed, job.Spec.ID, job.Shape, job.Opts.Protocol, job.Adversaries, job.Outage)
-	fmt.Println(job.Spec.Matrix())
-	w, err := engine.Build(job.Spec, job.Opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dealsweep: build: %v\n", err)
-		return 1
-	}
-	r := w.Run()
-	fmt.Print(r.Summary())
-	violations := len(r.SafetyViolations) + len(r.LivenessViolations)
-	// Apply the same Property 3 predicate the sweep aggregation uses,
-	// so a deal the sweep flagged also fails its replay.
-	if job.Adversaries == 0 && !job.Outage && job.Sequenceable && !r.AllCommitted {
-		fmt.Println("  STRONG LIVENESS VIOLATION: all parties compliant yet the deal did not commit (Property 3)")
-		violations++
-	}
-	if violations > 0 {
-		return 1
-	}
-	return 0
-}
-
-// replayArena re-runs the shared world containing the flagged deal and
-// prints that deal's outcome — bit-identical to the sweep, since an
-// arena is a pure function of (flags, arena index).
-func replayArena(opts fleet.Options, index int) int {
-	out, err := fleet.ReplayArenaDeal(opts, index)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dealsweep: %v\n", err)
-		return 2
-	}
-	fmt.Printf("replay arena deal %d (seed %d): %s — shape %s, %d adversaries, %d sore-loser triggers, %d races\n\n",
-		index, out.Seed, out.Spec.ID, out.Shape, out.Adversaries, out.SoreLosers, out.FrontRuns)
-	fmt.Println(out.Spec.Matrix())
-	r := out.Result
-	fmt.Print(r.Summary())
-	fmt.Printf("  decision latency %.2fΔ in the arena\n", out.ArenaDelta)
-	violations := len(r.SafetyViolations) + len(r.LivenessViolations)
-	if out.Adversaries == 0 && out.Sequenceable && !r.AllCommitted {
-		fmt.Println("  STRONG LIVENESS VIOLATION: all parties compliant yet the deal did not commit (Property 3)")
-		violations++
-	}
-	if violations > 0 {
-		return 1
-	}
-	return 0
-}
-
 func main() {
-	deals := flag.Int("deals", 100, "population size")
-	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
-	seed := flag.Uint64("seed", 1, "master seed; fully determines the population")
-	protocol := flag.String("protocol", "mixed", "protocol: timelock | cbc | mixed")
-	adversaryRate := flag.Float64("adversary-rate", 0.3, "probability each party deviates [0, 1]")
-	dosRate := flag.Float64("dos-rate", 0.15, "probability a run includes a DoS outage window [0, 1] (isolated mode)")
-	maxParties := flag.Int("max-parties", 6, "largest generated deal size")
-	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of tables")
-	replayIndex := flag.Int("replay", -1, "re-run this deal index from the sweep in full detail")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	feeMarket := flag.Bool("feemarket", false, "enable per-chain fee markets: tip-ordered blocks, EIP-1559 base fee, fee-bidding front-runners")
-	baseFee := flag.Uint64("base-fee", 100, "initial base fee (feemarket mode)")
-	tipBudget := flag.Uint64("tip-budget", 400, "fee-bidding front-runner tip budget (feemarket mode)")
+// run is the whole command, factored so tests can drive flag parsing,
+// validation, and report rendering in-process (the -json golden file
+// depends on that).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dealsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 
-	arenaMode := flag.Bool("arena", false, "arena mode: deals share worlds and contend for chains")
-	arenaDeals := flag.Int("arena-deals", 25, "deals per shared world (arena mode)")
-	chains := flag.Int("chains", 4, "shared chains per arena (arena mode)")
-	volatility := flag.Float64("volatility", 0.02, "market price volatility per tick (arena mode)")
-	noBaselines := flag.Bool("no-baselines", false, "skip isolated baselines; drops the latency-inflation metric (arena mode)")
+	deals := fs.Int("deals", 100, "population size")
+	workers := fs.Int("workers", 0, "worker pool size (0 = one per CPU)")
+	seed := fs.Uint64("seed", 1, "master seed; fully determines the population")
+	protocol := fs.String("protocol", "mixed", "protocol: timelock | cbc | mixed")
+	adversaryRate := fs.Float64("adversary-rate", 0.3, "probability each party deviates [0, 1]")
+	dosRate := fs.Float64("dos-rate", 0.15, "probability a run includes a DoS outage window [0, 1] (isolated mode)")
+	maxParties := fs.Int("max-parties", 6, "largest generated deal size")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of tables")
+	replayIndex := fs.Int("replay", -1, "re-run this deal index from the sweep in full detail")
 
-	budgetP99Delta := flag.Float64("budget-p99-delta", 0, "fail (exit 1) when p99 decision latency exceeds this many Δ (0 = off)")
-	budgetP99Gas := flag.Float64("budget-p99-gas", 0, "fail (exit 1) when p99 per-deal gas exceeds this (0 = off)")
-	budgetFeePerCommit := flag.Float64("budget-fee-per-commit", 0, "fail (exit 1) when mean fee spend per committed deal exceeds this (feemarket mode, 0 = off)")
+	feeMarket := fs.Bool("feemarket", false, "enable per-chain fee markets: tip-ordered blocks, EIP-1559 base fee, fee-bidding front-runners")
+	baseFee := fs.Uint64("base-fee", 100, "initial base fee (feemarket mode)")
+	tipBudget := fs.Uint64("tip-budget", 400, "fee-bidding front-runner tip budget (feemarket mode)")
 
-	flag.Parse()
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "dealsweep: unexpected argument %q\n", flag.Arg(0))
-		flag.Usage()
-		os.Exit(2)
+	arenaMode := fs.Bool("arena", false, "arena mode: deals share worlds and contend for chains")
+	arenaDeals := fs.Int("arena-deals", 25, "deals per shared world (arena mode)")
+	chains := fs.Int("chains", 4, "shared chains per arena (arena mode)")
+	volatility := fs.Float64("volatility", 0.02, "market price volatility per tick (arena mode)")
+	noBaselines := fs.Bool("no-baselines", false, "skip isolated baselines; drops the latency-inflation metric (arena mode)")
+
+	hedgeMode := fs.Bool("hedge", false, "arm the sore-loser defense: premium-priced deposit insurance for compliant parties (arena mode)")
+	hedgeCollateral := fs.Float64("hedge-collateral", 1.0, "collateral bond as a multiple of the insured deposit (hedge mode)")
+	premiumVolWindow := fs.Int("premium-vol-window", 32, "base-fee volatility window, in blocks, premiums are priced over (hedge mode)")
+
+	budgetP99Delta := fs.Float64("budget-p99-delta", 0, "fail (exit 1) when p99 decision latency exceeds this many Δ (0 = off)")
+	budgetP99Gas := fs.Float64("budget-p99-gas", 0, "fail (exit 1) when p99 per-deal gas exceeds this (0 = off)")
+	budgetFeePerCommit := fs.Float64("budget-fee-per-commit", 0, "fail (exit 1) when mean fee spend per committed deal exceeds this (feemarket mode, 0 = off)")
+	budgetResidualLoss := fs.Float64("budget-residual-loss", 0, "fail (exit 1) when residual sore-loser loss exceeds this (hedge mode, 0 = off)")
+
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "dealsweep: "+format+"\n", a...)
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "dealsweep: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
 	}
 	if *deals < 0 {
-		fmt.Fprintf(os.Stderr, "dealsweep: -deals must be non-negative\n")
-		os.Exit(2)
+		return fail("-deals must be non-negative")
+	}
+	// Reject degenerate knobs outright instead of silently substituting
+	// defaults: a sweep gated in CI must mean what its flags say.
+	if *feeMarket && *tipBudget == 0 {
+		return fail("-tip-budget must be positive (a zero-budget fee bidder is a plain racer in disguise)")
+	}
+	if *arenaMode && *arenaDeals <= 0 {
+		return fail("-arena-deals must be positive, got %d", *arenaDeals)
+	}
+	if *hedgeMode {
+		if !*arenaMode {
+			return fail("-hedge needs -arena (hedged populations are arena populations)")
+		}
+		if *hedgeCollateral <= 0 {
+			return fail("-hedge-collateral must be positive, got %v", *hedgeCollateral)
+		}
+		if *premiumVolWindow <= 0 {
+			return fail("-premium-vol-window must be positive, got %d", *premiumVolWindow)
+		}
 	}
 	if *budgetFeePerCommit > 0 && !*feeMarket {
-		fmt.Fprintf(os.Stderr, "dealsweep: -budget-fee-per-commit needs -feemarket\n")
-		os.Exit(2)
+		return fail("-budget-fee-per-commit needs -feemarket")
+	}
+	if *budgetResidualLoss > 0 && !*hedgeMode {
+		return fail("-budget-residual-loss needs -hedge")
 	}
 	gen := fleet.GenOptions{
 		Seed:          *seed,
@@ -178,51 +174,123 @@ func main() {
 			Volatility:    *volatility,
 			Baselines:     !*noBaselines,
 		}
+		if *hedgeMode {
+			opts.Arena.Hedge = true
+			opts.Arena.HedgeCollateral = *hedgeCollateral
+			opts.Arena.PremiumVolWindow = *premiumVolWindow
+		}
 	}
 
 	if *replayIndex >= 0 {
 		if *arenaMode {
-			os.Exit(replayArena(opts, *replayIndex))
+			return replayArena(stdout, stderr, opts, *replayIndex)
 		}
-		os.Exit(replay(gen, *replayIndex))
+		return replay(stdout, stderr, gen, *replayIndex)
 	}
 
 	rep, err := fleet.Sweep(opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dealsweep: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dealsweep: %v\n", err)
+		return 2
 	}
 	rep.ReplayCommand = replayCommand(opts)
 
 	if *jsonOut {
-		if err := rep.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "dealsweep: %v\n", err)
-			os.Exit(1)
+		if err := rep.WriteJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "dealsweep: %v\n", err)
+			return 1
 		}
 	} else {
-		rep.Fprint(os.Stdout)
+		rep.Fprint(stdout)
 	}
 
 	failed := !rep.Clean()
 	if *budgetP99Delta > 0 && rep.DeltaTime.P99 > *budgetP99Delta {
-		fmt.Fprintf(os.Stderr, "dealsweep: BUDGET BREACH: p99 decision latency %.2fΔ exceeds budget %.2fΔ\n",
+		fmt.Fprintf(stderr, "dealsweep: BUDGET BREACH: p99 decision latency %.2fΔ exceeds budget %.2fΔ\n",
 			rep.DeltaTime.P99, *budgetP99Delta)
 		failed = true
 	}
 	if *budgetP99Gas > 0 && rep.Gas.P99 > *budgetP99Gas {
-		fmt.Fprintf(os.Stderr, "dealsweep: BUDGET BREACH: p99 gas %.0f exceeds budget %.0f\n",
+		fmt.Fprintf(stderr, "dealsweep: BUDGET BREACH: p99 gas %.0f exceeds budget %.0f\n",
 			rep.Gas.P99, *budgetP99Gas)
 		failed = true
 	}
 	if *budgetFeePerCommit > 0 && rep.OrderingGames != nil &&
 		rep.OrderingGames.FeePerCommit > *budgetFeePerCommit {
-		fmt.Fprintf(os.Stderr, "dealsweep: BUDGET BREACH: fee per committed deal %.1f exceeds budget %.1f\n",
+		fmt.Fprintf(stderr, "dealsweep: BUDGET BREACH: fee per committed deal %.1f exceeds budget %.1f\n",
 			rep.OrderingGames.FeePerCommit, *budgetFeePerCommit)
 		failed = true
 	}
-	if failed {
-		os.Exit(1)
+	if *budgetResidualLoss > 0 && rep.Hedging != nil &&
+		float64(rep.Hedging.ResidualSoreLoserLoss) > *budgetResidualLoss {
+		fmt.Fprintf(stderr, "dealsweep: BUDGET BREACH: residual sore-loser loss %d exceeds budget %g (gross %d, payouts %d)\n",
+			rep.Hedging.ResidualSoreLoserLoss, *budgetResidualLoss,
+			rep.Hedging.GrossSoreLoserLoss, rep.Hedging.PayoutsClaimed)
+		failed = true
 	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// replay re-executes one generated scenario in full detail: the deal
+// matrix, the settlement summary, and any property violations. This is
+// the debugging path for a violation the sweep flagged.
+func replay(stdout, stderr io.Writer, gen fleet.GenOptions, index int) int {
+	g, err := fleet.NewGenerator(gen)
+	if err != nil {
+		fmt.Fprintf(stderr, "dealsweep: %v\n", err)
+		return 2
+	}
+	job := g.Job(index)
+	fmt.Fprintf(stdout, "replay deal %d (seed %d): %s — shape %s, protocol %s, %d adversaries, outage %v\n\n",
+		job.Index, job.Seed, job.Spec.ID, job.Shape, job.Opts.Protocol, job.Adversaries, job.Outage)
+	fmt.Fprintln(stdout, job.Spec.Matrix())
+	w, err := engine.Build(job.Spec, job.Opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "dealsweep: build: %v\n", err)
+		return 1
+	}
+	r := w.Run()
+	fmt.Fprint(stdout, r.Summary())
+	violations := len(r.SafetyViolations) + len(r.LivenessViolations)
+	// Apply the same Property 3 predicate the sweep aggregation uses,
+	// so a deal the sweep flagged also fails its replay.
+	if job.Adversaries == 0 && !job.Outage && job.Sequenceable && !r.AllCommitted {
+		fmt.Fprintln(stdout, "  STRONG LIVENESS VIOLATION: all parties compliant yet the deal did not commit (Property 3)")
+		violations++
+	}
+	if violations > 0 {
+		return 1
+	}
+	return 0
+}
+
+// replayArena re-runs the shared world containing the flagged deal and
+// prints that deal's outcome — bit-identical to the sweep, since an
+// arena is a pure function of (flags, arena index).
+func replayArena(stdout, stderr io.Writer, opts fleet.Options, index int) int {
+	out, err := fleet.ReplayArenaDeal(opts, index)
+	if err != nil {
+		fmt.Fprintf(stderr, "dealsweep: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "replay arena deal %d (seed %d): %s — shape %s, %d adversaries, %d sore-loser triggers, %d races\n\n",
+		index, out.Seed, out.Spec.ID, out.Shape, out.Adversaries, out.SoreLosers, out.FrontRuns)
+	fmt.Fprintln(stdout, out.Spec.Matrix())
+	r := out.Result
+	fmt.Fprint(stdout, r.Summary())
+	fmt.Fprintf(stdout, "  decision latency %.2fΔ in the arena\n", out.ArenaDelta)
+	violations := len(r.SafetyViolations) + len(r.LivenessViolations)
+	if out.Adversaries == 0 && out.Sequenceable && !r.AllCommitted {
+		fmt.Fprintln(stdout, "  STRONG LIVENESS VIOLATION: all parties compliant yet the deal did not commit (Property 3)")
+		violations++
+	}
+	if violations > 0 {
+		return 1
+	}
+	return 0
 }
 
 // replayCommand renders the exact command that replays one deal of this
@@ -240,6 +308,10 @@ func replayCommand(opts fleet.Options) string {
 			a.DealsPerArena, a.Chains, a.Volatility)
 		if !a.Baselines {
 			cmd += " -no-baselines"
+		}
+		if a.Hedge {
+			cmd += fmt.Sprintf(" -hedge -hedge-collateral %v -premium-vol-window %d",
+				a.HedgeCollateral, a.PremiumVolWindow)
 		}
 	}
 	return cmd + " -replay %d"

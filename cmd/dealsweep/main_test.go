@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report fixtures")
+
+// TestFlagValidationRejectsDegenerateSweeps: knobs that would silently
+// produce a degenerate sweep (or a meaningless CI gate) must be
+// rejected with exit 2 and a pointed message, not defaulted away.
+func TestFlagValidationRejectsDegenerateSweeps(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the stderr complaint
+	}{
+		{"negative-deals", []string{"-deals", "-1"}, "-deals must be non-negative"},
+		{"zero-tip-budget", []string{"-feemarket", "-tip-budget", "0"}, "-tip-budget must be positive"},
+		{"zero-arena-deals", []string{"-arena", "-arena-deals", "0"}, "-arena-deals must be positive"},
+		{"negative-arena-deals", []string{"-arena", "-arena-deals", "-5"}, "-arena-deals must be positive"},
+		{"zero-hedge-collateral", []string{"-arena", "-hedge", "-hedge-collateral", "0"}, "-hedge-collateral must be positive"},
+		{"negative-hedge-collateral", []string{"-arena", "-hedge", "-hedge-collateral", "-0.5"}, "-hedge-collateral must be positive"},
+		{"hedge-without-arena", []string{"-hedge"}, "-hedge needs -arena"},
+		{"zero-vol-window", []string{"-arena", "-hedge", "-premium-vol-window", "0"}, "-premium-vol-window must be positive"},
+		{"residual-budget-without-hedge", []string{"-budget-residual-loss", "5"}, "-budget-residual-loss needs -hedge"},
+		{"fee-budget-without-feemarket", []string{"-budget-fee-per-commit", "5"}, "-budget-fee-per-commit needs -feemarket"},
+		{"stray-argument", []string{"extra"}, "unexpected argument"},
+		{"unknown-flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != 2 {
+				t.Fatalf("run(%v) = %d, want exit 2\nstderr: %s", tc.args, code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("stderr %q does not explain the rejection (want %q)", stderr.String(), tc.want)
+			}
+			if stdout.Len() != 0 {
+				t.Fatalf("rejected run still produced a report:\n%s", stdout.String())
+			}
+		})
+	}
+}
+
+// goldenCheck runs the command and compares its stdout byte-for-byte
+// against the committed fixture (regenerate with `go test -update`).
+func goldenCheck(t *testing.T, fixture string, wantCode int, args ...string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	if code != wantCode {
+		t.Fatalf("run(%v) = %d, want %d\nstderr: %s", args, code, wantCode, stderr.String())
+	}
+	path := filepath.Join("testdata", fixture)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture %s (run `go test ./cmd/dealsweep -update` to create it): %v", path, err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Fatalf("-json report diverged from the committed schema fixture %s.\n"+
+			"If the change is intentional, regenerate with `go test ./cmd/dealsweep -update` and review the diff.\n--- got ---\n%s\n--- want ---\n%s",
+			path, stdout.String(), string(want))
+	}
+}
+
+// TestGoldenJSONReportIsolated pins the -json report schema for the
+// default isolated sweep: a refactor that renames, drops, or reorders a
+// field breaks this byte-identical fixture instead of silently changing
+// the CI-gated JSON contract.
+func TestGoldenJSONReportIsolated(t *testing.T) {
+	goldenCheck(t, "golden_isolated.json", 0,
+		"-deals", "30", "-seed", "5", "-workers", "4", "-json")
+}
+
+// TestGoldenJSONReportHedgedArena pins the full arena schema — the
+// interference, ordering-games, and hedging blocks together.
+func TestGoldenJSONReportHedgedArena(t *testing.T) {
+	goldenCheck(t, "golden_hedged_arena.json", 0,
+		"-arena", "-deals", "24", "-arena-deals", "12", "-chains", "2",
+		"-seed", "7", "-feemarket", "-hedge", "-volatility", "0.05",
+		"-no-baselines", "-workers", "4", "-json")
+}
+
+// TestReportIndependentOfWorkerCount: the golden runs again at a
+// different pool size must produce the identical bytes (the fixture
+// files double as cross-worker-count regression anchors).
+func TestReportIndependentOfWorkerCount(t *testing.T) {
+	render := func(workers string) string {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{
+			"-arena", "-deals", "24", "-arena-deals", "12", "-chains", "2",
+			"-seed", "7", "-feemarket", "-hedge", "-volatility", "0.05",
+			"-no-baselines", "-workers", workers, "-json"}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("workers=%s exited %d: %s", workers, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	if render("1") != render("8") {
+		t.Fatal("report depends on the worker count")
+	}
+}
+
+// TestResidualLossBudgetGate: an absurdly tight residual budget must
+// trip the gate (exit 1) with a breach message; a generous one passes.
+// The sweep hedges at 0.5× collateral, so payouts absorb only half of
+// every stranded deposit and a residual is guaranteed wherever sore
+// losers kill deals (seed 7 at 35% adversaries strands plenty).
+func TestResidualLossBudgetGate(t *testing.T) {
+	base := []string{
+		"-arena", "-deals", "60", "-arena-deals", "20", "-chains", "3",
+		"-seed", "7", "-adversary-rate", "0.35", "-feemarket", "-hedge",
+		"-hedge-collateral", "0.5", "-volatility", "0.05",
+		"-no-baselines", "-workers", "4", "-json"}
+	var stdout, stderr bytes.Buffer
+	if code := run(append(base, "-budget-residual-loss", "0.5"), &stdout, &stderr); code != 1 {
+		t.Fatalf("tight residual budget exited %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "residual sore-loser loss") {
+		t.Fatalf("no breach message: %s", stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(append(base, "-budget-residual-loss", "1e12"), &stdout, &stderr); code != 0 {
+		t.Fatalf("generous residual budget exited %d, want 0\nstderr: %s", code, stderr.String())
+	}
+}

@@ -18,9 +18,13 @@ package arena
 import (
 	"fmt"
 
+	"sort"
+
 	"xdeal/internal/chain"
 	"xdeal/internal/engine"
+	"xdeal/internal/escrow"
 	"xdeal/internal/feemarket"
+	"xdeal/internal/hedge"
 	"xdeal/internal/party"
 	"xdeal/internal/sim"
 )
@@ -60,6 +64,20 @@ type Options struct {
 	// TipBudget caps each fee-bidding front-runner's total tip spend
 	// (default 400).
 	TipBudget uint64
+	// Hedge arms the sore-loser defense: every fungible escrow gains a
+	// premium-priced insurance contract (see internal/hedge), and the
+	// population's compliant mix slots hedge their deposits — refusing
+	// to lock unhedged capital and claiming collateral payouts when a
+	// deal aborts after the trigger. Premiums are priced off each
+	// chain's realized base-fee volatility, so hedging couples to the
+	// fee market's congestion signal.
+	Hedge bool
+	// HedgeCollateral is the bond size as a multiple of the insured
+	// deposit (default 1.0).
+	HedgeCollateral float64
+	// PremiumVolWindow is the realized base-fee volatility window (in
+	// sealed blocks) premiums are priced over (default 32).
+	PremiumVolWindow int
 }
 
 func (o *Options) defaults() error {
@@ -91,7 +109,30 @@ func (o *Options) defaults() error {
 	if o.TipBudget == 0 {
 		o.TipBudget = 400
 	}
+	if o.HedgeCollateral < 0 {
+		return fmt.Errorf("arena: negative hedge collateral %v", o.HedgeCollateral)
+	}
+	if o.PremiumVolWindow < 0 {
+		return fmt.Errorf("arena: negative premium volatility window %d", o.PremiumVolWindow)
+	}
+	if o.HedgeCollateral == 0 {
+		o.HedgeCollateral = 1.0
+	}
+	if o.PremiumVolWindow == 0 {
+		o.PremiumVolWindow = 32
+	}
 	return nil
+}
+
+// hedgeParams resolves the hedging configuration, or nil when off.
+func (o Options) hedgeParams() *hedge.Params {
+	if !o.Hedge {
+		return nil
+	}
+	return &hedge.Params{
+		Collateral: o.HedgeCollateral,
+		VolWindow:  o.PremiumVolWindow,
+	}
 }
 
 // feeConfig returns the shared chains' fee-market configuration, or nil
@@ -125,6 +166,17 @@ type DealOutcome struct {
 	// Fees is the deal's fee-market spend (base fees burned plus tips
 	// paid by its transactions); zero without a fee market.
 	Fees uint64
+
+	// Stranded is the fungible capital the deal's compliant parties
+	// actually had locked in escrows that did not commit — read from
+	// the escrow books at the end of the run, so a deposit that never
+	// landed is never counted (no leak, no double-count).
+	Stranded uint64
+	// Premiums and Payouts are the deal's hedge flows: premiums its
+	// parties paid binding cover, and collateral payouts they claimed.
+	// Zero without Options.Hedge.
+	Premiums uint64
+	Payouts  uint64
 }
 
 // Interference aggregates the arena's cross-deal contention metrics.
@@ -146,9 +198,32 @@ type Interference struct {
 	FrontRunWins     int `json:"front_run_wins"`
 	FeeBidAttempts   int `json:"fee_bid_attempts"`
 	FeeBidWins       int `json:"fee_bid_wins"`
+	// Hedging defense metrics (all zero without Options.Hedge):
+	// positions bound and settled, premium and payout flows, and the
+	// residual sore-loser loss — SoreLoserLoss minus the payouts that
+	// compensated it, floored at zero per deal. A working defense shows
+	// residual shrinking toward zero while gross loss stays put.
+	HedgeBinds            int    `json:"hedge_binds,omitempty"`
+	HedgeSettles          int    `json:"hedge_settles,omitempty"`
+	PremiumsPaid          uint64 `json:"premiums_paid,omitempty"`
+	PremiumsRefunded      uint64 `json:"premiums_refunded,omitempty"`
+	PayoutsClaimed        uint64 `json:"payouts_claimed,omitempty"`
+	ResidualSoreLoserLoss uint64 `json:"residual_sore_loser_loss"`
 	// InflationSamples holds per-deal arena/baseline decision-latency
 	// ratios (present only when baselines ran).
 	InflationSamples []float64 `json:"-"`
+	// HedgeSamples holds one observation per bound position: the
+	// premium and collateral, and the realized base-fee volatility (in
+	// basis points) it was priced at — the raw material for the
+	// premium-by-volatility-decile report.
+	HedgeSamples []HedgeSample `json:"-"`
+}
+
+// HedgeSample is one bound hedge position's pricing observation.
+type HedgeSample struct {
+	VolBps     int // realized base-fee volatility at bind, basis points
+	Premium    uint64
+	Collateral uint64
 }
 
 // Result is the evaluated outcome of one arena run.
@@ -178,6 +253,7 @@ func Run(opts Options, pop []DealSetup) (*Result, error) {
 		BlockInterval: opts.BlockInterval,
 		MaxBlockTxs:   opts.MaxBlockTxs,
 		FeeMarket:     opts.feeConfig(),
+		Hedge:         opts.hedgeParams(),
 	})
 	market := NewMarket(sub.Sched, sim.Mix64(opts.Seed^0xa5a5a5a5), opts.PriceTick, opts.Volatility)
 
@@ -207,6 +283,25 @@ func Run(opts Options, pop []DealSetup) (*Result, error) {
 			if won {
 				res.Interference.FrontRunWins++
 			}
+		},
+		OnHedgeBound: func(p chain.Addr, collateral, premium uint64, vol float64) {
+			res.Outcomes[owner[p]].Premiums += premium
+			res.Interference.HedgeBinds++
+			res.Interference.PremiumsPaid += premium
+			res.Interference.HedgeSamples = append(res.Interference.HedgeSamples, HedgeSample{
+				VolBps:     int(vol*10000 + 0.5),
+				Premium:    premium,
+				Collateral: collateral,
+			})
+		},
+		OnHedgeSettled: func(p chain.Addr, payout bool, amount uint64) {
+			res.Interference.HedgeSettles++
+			if payout {
+				res.Outcomes[owner[p]].Payouts += amount
+				res.Interference.PayoutsClaimed += amount
+				return
+			}
+			res.Interference.PremiumsRefunded += amount
 		},
 	}
 
@@ -254,23 +349,57 @@ func Run(opts Options, pop []DealSetup) (*Result, error) {
 
 	// Sore-loser losses: in every deal where a trigger fired and the
 	// commit consequently never happened, the compliant parties' locked
-	// deposits were tied up only to be refunded.
+	// deposits were tied up only to be refunded. Stranded capital is
+	// read from the escrow books themselves — what each compliant party
+	// actually had deposited in escrows that did not commit — so the
+	// attribution neither leaks (a deposit that never landed is not a
+	// loss) nor double-counts (each book entry is summed exactly once).
+	// Hedge payouts then absorb the loss: the residual is what the
+	// attack still costs after the insurance compensates its victims.
 	for k := range res.Outcomes {
 		out := &res.Outcomes[k]
-		if out.SoreLosers == 0 || out.Result == nil || out.Result.AllCommitted {
+		if out.Result == nil {
+			continue
+		}
+		out.Stranded = strandedDeposits(worlds[k], out.Result)
+		if out.SoreLosers == 0 || out.Result.AllCommitted {
 			continue
 		}
 		res.Interference.SoreLoserDeals++
-		for _, p := range out.Spec.Parties {
-			if !out.Result.Compliant[p] {
-				continue
-			}
-			for _, ob := range out.Spec.EscrowObligations(p) {
-				res.Interference.SoreLoserLoss += ob.Amount
+		res.Interference.SoreLoserLoss += out.Stranded
+		residual := out.Stranded
+		if out.Payouts >= residual {
+			residual = 0
+		} else {
+			residual -= out.Payouts
+		}
+		res.Interference.ResidualSoreLoserLoss += residual
+	}
+	return res, nil
+}
+
+// strandedDeposits sums the fungible deposits the deal's compliant
+// parties had locked in escrows that did not commit — capital that was
+// timelocked only to be handed back (or worse, is locked still).
+func strandedDeposits(w *engine.World, r *engine.Result) uint64 {
+	keys := make([]string, 0, len(w.Managers))
+	for key := range w.Managers {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var total uint64
+	for _, key := range keys {
+		st := w.Managers[key].Deal(w.Spec.ID)
+		if st == nil || st.Status == escrow.StatusCommitted {
+			continue
+		}
+		for _, p := range w.Spec.Parties {
+			if r.Compliant[p] {
+				total += st.Deposited[p]
 			}
 		}
 	}
-	return res, nil
+	return total
 }
 
 // engineOptions assembles one deal's engine options for the shared
@@ -283,6 +412,7 @@ func engineOptions(opts Options, setup DealSetup, hooks *party.AdaptiveHooks) en
 		MaxBlockTxs:   opts.MaxBlockTxs,
 		LabelPrefix:   setup.Spec.ID + "/",
 		Adaptive:      hooks,
+		Hedge:         opts.hedgeParams(),
 	}
 	if opts.Protocol == "cbc" {
 		eo.Protocol = party.ProtoCBC

@@ -48,6 +48,15 @@ type PopOptions struct {
 	FeeMarket bool
 	// TipBudget is each fee bidder's total tip spend cap (default 400).
 	TipBudget uint64
+	// Hedged upgrades the compliant mix slots to hedged parties: every
+	// party the adversary draw leaves compliant insures its deposits
+	// (Behavior.Hedged) instead of locking them bare. Like FeeMarket,
+	// the flag consumes no randomness, so a hedged population is the
+	// seed-twin of its unhedged run — the same sore losers attack the
+	// same deals, and the only difference is whether the victims carry
+	// cover. That twin-ness is what makes hedged-vs-unhedged residual
+	// loss comparable seed for seed.
+	Hedged bool
 }
 
 // DealSetup is one fully specified deal of an arena population. Spec.T0
@@ -171,6 +180,11 @@ func synthDeal(opts PopOptions, k int) DealSetup {
 	setup.Behaviors = make(map[chain.Addr]party.Behavior)
 	for _, p := range setup.Spec.Parties {
 		if !rng.Bool(opts.AdversaryRate) {
+			if opts.Hedged {
+				// The compliant slot hedges its deposits. Consumes no
+				// randomness and does not count as an adversary.
+				setup.Behaviors[p] = party.Behavior{Hedged: true}
+			}
 			continue
 		}
 		var b party.Behavior

@@ -27,6 +27,7 @@ import (
 	"xdeal/internal/escrow"
 	"xdeal/internal/feemarket"
 	"xdeal/internal/gas"
+	"xdeal/internal/hedge"
 	"xdeal/internal/party"
 	"xdeal/internal/sig"
 	"xdeal/internal/sim"
@@ -88,6 +89,11 @@ type Options struct {
 	// front-runner) to arena-level observable state: a market price
 	// oracle and metric callbacks. Nil outside arena runs.
 	Adaptive *party.AdaptiveHooks
+	// Hedge, when non-nil, deploys a premium-priced sore-loser
+	// insurance contract (see internal/hedge) next to every fungible
+	// escrow manager, priced off each chain's realized base-fee
+	// volatility, and wires Behavior.Hedged parties to it.
+	Hedge *hedge.Params
 }
 
 // Outage is a window during which a chain produces no blocks.
@@ -114,6 +120,7 @@ type Substrate struct {
 	nfts      map[string]*token.NFT
 	managers  map[string]EscrowInspector
 	protocols map[string]party.Protocol // escrow key -> manager's protocol
+	hedges    map[string]*hedge.Manager // escrow key -> hedging contract
 }
 
 // SubstrateConfig parameterizes the shared fabric. Chains are created
@@ -127,6 +134,10 @@ type SubstrateConfig struct {
 	// FeeMarket attaches a fee market to every chain created on the
 	// substrate; nil keeps FIFO inclusion.
 	FeeMarket *feemarket.Config
+	// Hedge deploys a sore-loser insurance contract next to every
+	// fungible escrow manager created on the substrate; nil disables
+	// hedging.
+	Hedge *hedge.Params
 }
 
 // NewSubstrate creates an empty shared world.
@@ -147,6 +158,7 @@ func NewSubstrate(cfg SubstrateConfig) *Substrate {
 		nfts:      make(map[string]*token.NFT),
 		managers:  make(map[string]EscrowInspector),
 		protocols: make(map[string]party.Protocol),
+		hedges:    make(map[string]*hedge.Manager),
 	}
 }
 
@@ -164,6 +176,9 @@ type World struct {
 	NFTs      map[string]*token.NFT
 	// Managers indexes escrow managers by escrow key.
 	Managers map[string]EscrowInspector
+	// Hedges indexes hedging contracts by escrow key (only under
+	// Options.Hedge, and only at fungible escrows).
+	Hedges map[string]*hedge.Manager
 
 	opts Options
 	keys map[string]sig.KeyPair
@@ -197,6 +212,7 @@ func Build(spec *deal.Spec, opts Options) (*World, error) {
 		MaxBlockTxs:   opts.MaxBlockTxs,
 		Outages:       opts.Outages,
 		FeeMarket:     opts.FeeMarket,
+		Hedge:         opts.Hedge,
 	})
 	return sub.BuildOn(spec, opts)
 }
@@ -231,6 +247,7 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 		Fungibles:       make(map[string]*token.Fungible),
 		NFTs:            make(map[string]*token.NFT),
 		Managers:        make(map[string]EscrowInspector),
+		Hedges:          make(map[string]*hedge.Manager),
 		opts:            opts,
 		keys:            make(map[string]sig.KeyPair),
 		initialFungible: make(map[chain.Addr]map[string]uint64),
@@ -323,6 +340,37 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 		}
 	}
 
+	// Hedging contracts: premium-priced sore-loser insurance (see
+	// internal/hedge) paired with every fungible escrow manager this
+	// deal touches, created once per substrate and reused like the
+	// managers themselves. Premiums are priced off the hosting chain's
+	// realized base-fee volatility, so insurance on a congested chain
+	// costs more.
+	hp := opts.Hedge
+	if hp == nil {
+		hp = s.cfg.Hedge
+	}
+	if hp != nil {
+		resolved := hp.WithDefaults()
+		for _, a := range spec.Escrows() {
+			if a.Kind != deal.Fungible {
+				continue
+			}
+			key := a.Key()
+			if hm := s.hedges[key]; hm != nil {
+				w.Hedges[key] = hm
+				continue
+			}
+			c := s.Chains[a.Chain]
+			hm := hedge.New(a.Escrow, resolved, volSource(c, resolved.VolWindow))
+			if err := c.Deploy(hedge.AddrFor(a.Escrow), hm); err != nil {
+				return nil, err
+			}
+			s.hedges[key] = hm
+			w.Hedges[key] = hm
+		}
+	}
+
 	// CBC service: one per deal, even on a shared substrate (the paper's
 	// CBC orders one deal's votes; arena deals each bring their own).
 	if opts.Protocol == party.ProtoCBC {
@@ -386,6 +434,19 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 		// mempool past its deadline is worthless.
 		fees = party.DeadlineFee{Start: 1, Max: 16}
 	}
+	var hedgeCfg *party.HedgeConfig
+	if hp != nil && len(w.Hedges) > 0 {
+		resolved := hp.WithDefaults()
+		contracts := make(map[string]chain.Addr, len(w.Hedges))
+		for key, hm := range w.Hedges {
+			contracts[key] = hedge.AddrFor(hm.Escrow)
+		}
+		hedgeCfg = &party.HedgeConfig{
+			Contracts:     contracts,
+			Collateral:    resolved.Collateral,
+			TriggerDeltas: resolved.TriggerDeltas,
+		}
+	}
 	for i, addr := range spec.Parties {
 		addr := addr
 		cfg := party.Config{
@@ -399,6 +460,7 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 			LabelPrefix: opts.LabelPrefix,
 			Fees:        fees,
 			Adaptive:    opts.Adaptive,
+			Hedge:       hedgeCfg,
 			OnValidated: func(p chain.Addr, at sim.Time) {
 				w.validatedAt[p] = at
 			},
@@ -445,7 +507,20 @@ const LabelSetup = "setup"
 
 // dealLabels are the transaction labels a deal's activity runs under.
 var dealLabels = []string{
-	LabelSetup, party.LabelEscrow, party.LabelTransfer, party.LabelCommit, party.LabelAbort,
+	LabelSetup, party.LabelEscrow, party.LabelTransfer, party.LabelCommit,
+	party.LabelAbort, party.LabelHedge,
+}
+
+// volSource exposes a chain's realized base-fee volatility to the
+// hedging contract deployed on it (0 on FIFO chains: nothing congests,
+// so insurance is floor-priced).
+func volSource(c *chain.Chain, window int) func() float64 {
+	return func() float64 {
+		if fm := c.FeeMarket(); fm != nil {
+			return fm.Volatility(window)
+		}
+		return 0
+	}
 }
 
 // DealGas returns the gas attributable to this deal. On a private

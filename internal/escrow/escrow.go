@@ -21,6 +21,7 @@ import (
 
 	"xdeal/internal/chain"
 	"xdeal/internal/deal"
+	"xdeal/internal/sim"
 	"xdeal/internal/token"
 )
 
@@ -78,6 +79,15 @@ type State struct {
 	// Non-fungible bookkeeping: per token id.
 	AbortOwner  map[string]chain.Addr
 	CommitOwner map[string]chain.Addr
+
+	// DepositedAt records when each party's first deposit locked (the
+	// start of its capital exposure); FinalizedAt records when the deal
+	// committed or aborted at this contract (zero while active). Hedge
+	// contracts settle sore-loser claims against the two: an abort that
+	// finalized long after a deposit locked is a deposit that was
+	// timelocked for nothing.
+	DepositedAt map[chain.Addr]sim.Time
+	FinalizedAt sim.Time
 
 	// Info is the protocol-specific deal information supplied at first
 	// escrow (plist and t0/Δ for timelock; plist, start hash and
@@ -155,6 +165,7 @@ func (b *Book) Register(env *chain.Env, id string, parties []chain.Addr, info an
 		OnCommit:    make(map[chain.Addr]uint64),
 		AbortOwner:  make(map[string]chain.Addr),
 		CommitOwner: make(map[string]chain.Addr),
+		DepositedAt: make(map[chain.Addr]sim.Time),
 		Info:        info,
 	}
 	b.deals[id] = st
@@ -190,6 +201,9 @@ func (b *Book) EscrowFungible(env *chain.Env, id string, amount uint64) error {
 	// Post: OwnsA(P, a) ∧ OwnsC(P, a).
 	st.Deposited[sender] += amount
 	st.OnCommit[sender] += amount
+	if _, seen := st.DepositedAt[sender]; !seen {
+		st.DepositedAt[sender] = env.Now()
+	}
 	env.Write(2)
 	return nil
 }
@@ -225,6 +239,9 @@ func (b *Book) EscrowTokens(env *chain.Env, id string, ids []string) error {
 		st.AbortOwner[tid] = sender
 		st.CommitOwner[tid] = sender
 		b.held[tid] = id
+		if _, seen := st.DepositedAt[sender]; !seen {
+			st.DepositedAt[sender] = env.Now()
+		}
 		env.Write(2)
 	}
 	return nil
@@ -294,6 +311,7 @@ func (b *Book) FinalizeCommit(env *chain.Env, id string) error {
 		return err
 	}
 	st.Status = StatusCommitted
+	st.FinalizedAt = env.Now()
 	env.Write(1)
 	return b.payout(env, st, st.OnCommit, st.CommitOwner)
 }
@@ -306,6 +324,7 @@ func (b *Book) FinalizeAbort(env *chain.Env, id string) error {
 		return err
 	}
 	st.Status = StatusAborted
+	st.FinalizedAt = env.Now()
 	env.Write(1)
 	refunds := make(map[string]chain.Addr, len(st.AbortOwner))
 	for tid, owner := range st.AbortOwner {
@@ -382,6 +401,8 @@ type View struct {
 	OnCommit    map[chain.Addr]uint64
 	AbortOwner  map[string]chain.Addr
 	CommitOwner map[string]chain.Addr
+	DepositedAt map[chain.Addr]sim.Time
+	FinalizedAt sim.Time
 	Info        any
 }
 
@@ -399,6 +420,8 @@ func (b *Book) ViewOf(id string) View {
 		OnCommit:    make(map[chain.Addr]uint64, len(st.OnCommit)),
 		AbortOwner:  make(map[string]chain.Addr, len(st.AbortOwner)),
 		CommitOwner: make(map[string]chain.Addr, len(st.CommitOwner)),
+		DepositedAt: make(map[chain.Addr]sim.Time, len(st.DepositedAt)),
+		FinalizedAt: st.FinalizedAt,
 		Info:        st.Info,
 	}
 	for k, x := range st.Deposited {
@@ -412,6 +435,9 @@ func (b *Book) ViewOf(id string) View {
 	}
 	for k, x := range st.CommitOwner {
 		v.CommitOwner[k] = x
+	}
+	for k, x := range st.DepositedAt {
+		v.DepositedAt[k] = x
 	}
 	return v
 }

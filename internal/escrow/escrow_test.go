@@ -575,3 +575,56 @@ func TestQuickNFTEscrowStateMachine(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDepositAndFinalizeTimesRecorded: the book records when each
+// party's capital first locked and when the deal finalized — the two
+// timestamps hedge contracts settle sore-loser claims against.
+func TestDepositAndFinalizeTimesRecorded(t *testing.T) {
+	w := newWorld(t)
+	w.fund("alice", 200)
+	w.fund("bob", 100)
+
+	if r := w.call("alice", "coin-escrow", MethodEscrow, escrowCoins("D", 100)); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	st := w.coinEs.Deal("D")
+	aliceAt, ok := st.DepositedAt["alice"]
+	if !ok || aliceAt == 0 {
+		t.Fatalf("alice's deposit time not recorded: %v", st.DepositedAt)
+	}
+	if st.FinalizedAt != 0 {
+		t.Fatalf("FinalizedAt = %d before any finalize", st.FinalizedAt)
+	}
+	// A top-up must not move the first-lock time.
+	if r := w.call("alice", "coin-escrow", MethodEscrow, escrowCoins("D", 50)); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if got := st.DepositedAt["alice"]; got != aliceAt {
+		t.Fatalf("top-up moved alice's first deposit time %d -> %d", aliceAt, got)
+	}
+	if r := w.call("bob", "coin-escrow", MethodEscrow, escrowCoins("D", 100)); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if bobAt := st.DepositedAt["bob"]; bobAt <= aliceAt {
+		t.Fatalf("bob's later deposit stamped %d, not after alice's %d", bobAt, aliceAt)
+	}
+
+	env := w.c.TestEnv("coin-escrow")
+	if err := w.coinEs.FinalizeAbort(env, "D"); err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalizedAt == 0 || st.FinalizedAt < aliceAt {
+		t.Fatalf("FinalizedAt = %d, want a time at or after the first deposit %d", st.FinalizedAt, aliceAt)
+	}
+	view := w.coinEs.ViewOf("D")
+	if view.FinalizedAt != st.FinalizedAt {
+		t.Fatalf("view FinalizedAt = %d, state has %d", view.FinalizedAt, st.FinalizedAt)
+	}
+	if view.DepositedAt["alice"] != aliceAt {
+		t.Fatalf("view DepositedAt[alice] = %d, want %d", view.DepositedAt["alice"], aliceAt)
+	}
+	view.DepositedAt["alice"] = 999 // the view must be a snapshot
+	if st.DepositedAt["alice"] != aliceAt {
+		t.Fatal("mutating the view changed contract state")
+	}
+}

@@ -27,7 +27,10 @@
 // and platforms.
 package feemarket
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // Config parameterizes a chain's fee market.
 type Config struct {
@@ -84,6 +87,11 @@ func (t *Totals) Add(o Totals) {
 // Sum returns burned + tipped.
 func (t Totals) Sum() uint64 { return t.Burned + t.Tipped }
 
+// maxHistory bounds the per-block base-fee history the market retains:
+// enough for any realistic volatility window while keeping the market
+// constant-memory over arbitrarily long simulations.
+const maxHistory = 512
+
 // Market is one chain's fee market state: the current base fee and the
 // fee ledger. It is driven by the chain's block builder — Charge once
 // per included transaction, then Seal once per block — and is not safe
@@ -93,6 +101,14 @@ type Market struct {
 	baseFee uint64
 	total   Totals
 	byLabel map[string]*Totals
+	// history is a ring of the base fees charged by the last sealed
+	// blocks (oldest evicted first): the chain's realized congestion
+	// trajectory, which hedging premiums are priced from. Once full,
+	// head indexes the oldest entry and writes wrap in place, so
+	// recording stays O(1) in the block-production hot path.
+	history []uint64
+	head    int
+	sealed  int // total blocks sealed (history may have evicted some)
 }
 
 // New creates a market. maxBlockTxs is the hosting chain's block
@@ -131,27 +147,128 @@ func (m *Market) Charge(label string, tip uint64) {
 // Seal closes a block of `included` transactions and moves the base fee
 // for the next one: up when the block ran over target, down toward Min
 // when under, each move bounded by baseFee/AdjustQuotient and at least
-// 1 so the fee always reacts to sustained pressure.
+// 1 so the fee always reacts to sustained pressure. The cap binds even
+// when a block overshoots twice the target (possible on chains whose
+// capacity exceeds 2×Target, or with no capacity cap at all), so the
+// ±1/quotient bound holds for every fullness sequence.
 func (m *Market) Seal(included int) {
+	m.record(m.baseFee)
 	target := m.cfg.Target
 	switch {
 	case included > target:
-		delta := m.baseFee * uint64(included-target) / uint64(target) / m.cfg.AdjustQuotient
-		if delta < 1 {
-			delta = 1
+		delta := m.delta(uint64(included - target))
+		if m.baseFee > ^uint64(0)-delta {
+			m.baseFee = ^uint64(0) // saturate instead of wrapping
+		} else {
+			m.baseFee += delta
 		}
-		m.baseFee += delta
 	case included < target:
-		delta := m.baseFee * uint64(target-included) / uint64(target) / m.cfg.AdjustQuotient
-		if delta < 1 {
-			delta = 1
-		}
+		delta := m.delta(uint64(target - included))
 		if m.baseFee <= m.cfg.Min+delta {
 			m.baseFee = m.cfg.Min
 		} else {
 			m.baseFee -= delta
 		}
 	}
+}
+
+// delta sizes one base-fee move for an `excess` transactions deviation
+// from target: baseFee·excess/target/quotient, clamped to
+// [1, max(1, baseFee/quotient)]. The product goes through a 128-bit
+// intermediate so a fee near the top of the uint64 range cannot wrap
+// (the fuzzer found exactly that: a small quotient lets the fee climb
+// until baseFee·excess overflows and the "rise" collapses the fee).
+func (m *Market) delta(excess uint64) uint64 {
+	target := uint64(m.cfg.Target)
+	limit := m.baseFee / m.cfg.AdjustQuotient
+	var delta uint64
+	if excess >= target {
+		// baseFee·excess/target ≥ baseFee, so the clamp binds exactly.
+		delta = limit
+	} else {
+		hi, lo := bits.Mul64(m.baseFee, excess)
+		div := target * m.cfg.AdjustQuotient
+		if div/m.cfg.AdjustQuotient != target || hi >= div {
+			delta = limit // divisor overflow, or quotient past 2^64
+		} else {
+			delta, _ = bits.Div64(hi, lo, div)
+		}
+	}
+	if delta > limit {
+		delta = limit
+	}
+	if delta < 1 {
+		delta = 1
+	}
+	return delta
+}
+
+// record appends one sealed block's base fee to the bounded history,
+// overwriting the oldest entry once the ring is full.
+func (m *Market) record(fee uint64) {
+	m.sealed++
+	if len(m.history) < maxHistory {
+		m.history = append(m.history, fee)
+		return
+	}
+	m.history[m.head] = fee
+	m.head = (m.head + 1) % maxHistory
+}
+
+// at returns the i-th retained base fee, oldest first.
+func (m *Market) at(i int) uint64 {
+	return m.history[(m.head+i)%len(m.history)]
+}
+
+// History returns the base fees charged by the last sealed blocks
+// (oldest first, bounded at maxHistory entries).
+func (m *Market) History() []uint64 {
+	out := make([]uint64, 0, len(m.history))
+	out = append(out, m.history[m.head:]...)
+	out = append(out, m.history[:m.head]...)
+	return out
+}
+
+// Blocks returns how many blocks the market has sealed in total.
+func (m *Market) Blocks() int { return m.sealed }
+
+// Volatility is the chain's realized base-fee volatility: the mean
+// absolute fractional per-block base-fee move over the last `window`
+// block transitions (fewer when the history is shorter). This is the
+// deterministic congestion signal hedging premiums are priced from — a
+// chain whose base fee is churning is a chain where timelocked capital
+// is exposed, so insuring deposits on it costs more. Returns 0 with
+// fewer than two sealed blocks. Each per-block fractional move is
+// bounded by max(1/AdjustQuotient, 1/fee) — the quotient bound, except
+// next to the floor where the minimum one-unit move dominates — so the
+// result lies in [0, 1].
+func (m *Market) Volatility(window int) float64 {
+	n := len(m.history)
+	if window <= 0 || n < 2 {
+		return 0
+	}
+	lo := n - 1 - window
+	if lo < 0 {
+		lo = 0
+	}
+	var sum float64
+	steps := 0
+	for i := lo; i < n-1; i++ {
+		prev, next := m.at(i), m.at(i+1)
+		if prev == 0 {
+			continue
+		}
+		move := float64(next) - float64(prev)
+		if move < 0 {
+			move = -move
+		}
+		sum += move / float64(prev)
+		steps++
+	}
+	if steps == 0 {
+		return 0
+	}
+	return sum / float64(steps)
 }
 
 // Totals returns the market-wide fee ledger.

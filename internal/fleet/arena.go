@@ -26,6 +26,18 @@ type ArenaOptions struct {
 	// Baselines re-runs each deal alone to measure contention-induced
 	// decision-latency inflation (one extra isolated run per deal).
 	Baselines bool
+	// Hedge arms the sore-loser defense across the sweep: compliant
+	// mix slots insure their deposits at premium-priced hedging
+	// contracts (see internal/hedge), and the report gains a Hedging
+	// block (premiums, payouts, residual loss, premium by base-fee-
+	// volatility decile).
+	Hedge bool
+	// HedgeCollateral is the bond size as a multiple of the insured
+	// deposit (default 1.0).
+	HedgeCollateral float64
+	// PremiumVolWindow is the realized base-fee volatility window (in
+	// sealed blocks) premiums are priced over (default 32).
+	PremiumVolWindow int
 }
 
 func (o *ArenaOptions) defaults() error {
@@ -41,11 +53,23 @@ func (o *ArenaOptions) defaults() error {
 	if o.MaxBlockTxs < 0 {
 		return fmt.Errorf("fleet: negative block capacity %d", o.MaxBlockTxs)
 	}
+	if o.HedgeCollateral < 0 {
+		return fmt.Errorf("fleet: negative hedge collateral %v", o.HedgeCollateral)
+	}
+	if o.PremiumVolWindow < 0 {
+		return fmt.Errorf("fleet: negative premium volatility window %d", o.PremiumVolWindow)
+	}
 	if o.DealsPerArena == 0 {
 		o.DealsPerArena = 25
 	}
 	if o.Chains == 0 {
 		o.Chains = 4
+	}
+	if o.HedgeCollateral == 0 {
+		o.HedgeCollateral = 1.0
+	}
+	if o.PremiumVolWindow == 0 {
+		o.PremiumVolWindow = 32
 	}
 	return nil
 }
@@ -91,6 +115,7 @@ func (g *Generator) arenaPopOptions(a, count int, ao ArenaOptions) arena.PopOpti
 		po.FeeMarket = true
 		po.TipBudget = f.TipBudget
 	}
+	po.Hedged = ao.Hedge
 	return po
 }
 
@@ -101,11 +126,14 @@ func arenaRunOptions(gen GenOptions, ao ArenaOptions, arenaIdx int) (arena.Optio
 		return arena.Options{}, err
 	}
 	o := arena.Options{
-		Seed:        sim.Mix64(gen.Seed ^ sim.Mix64(uint64(arenaIdx)+0x7fb5d329728ea185)),
-		Protocol:    proto,
-		Volatility:  ao.Volatility,
-		MaxBlockTxs: ao.MaxBlockTxs,
-		Baselines:   ao.Baselines,
+		Seed:             sim.Mix64(gen.Seed ^ sim.Mix64(uint64(arenaIdx)+0x7fb5d329728ea185)),
+		Protocol:         proto,
+		Volatility:       ao.Volatility,
+		MaxBlockTxs:      ao.MaxBlockTxs,
+		Baselines:        ao.Baselines,
+		Hedge:            ao.Hedge,
+		HedgeCollateral:  ao.HedgeCollateral,
+		PremiumVolWindow: ao.PremiumVolWindow,
 	}
 	if f := gen.Fees; f != nil {
 		o.FeeMarket = true
@@ -169,6 +197,9 @@ func sweepArenas(opts Options) (*Report, error) {
 	if f := gen.opts.Fees; f != nil {
 		agg.EnableFees(f.BaseFee, f.TipBudget)
 	}
+	if ao.Hedge {
+		agg.EnableHedging(ao.HedgeCollateral, ao.PremiumVolWindow)
+	}
 	inter := &Interference{Arenas: nArenas, Chains: ao.Chains}
 	var inflation Sketch
 	for a, res := range results {
@@ -184,6 +215,7 @@ func sweepArenas(opts Options) (*Report, error) {
 		agg.AddFeeWorld(res.Fees)
 		agg.AddFeeRaces(res.Interference.FrontRunAttempts, res.Interference.FrontRunWins,
 			res.Interference.FeeBidAttempts, res.Interference.FeeBidWins)
+		agg.AddHedgeArena(res.Interference)
 		for _, x := range res.Interference.InflationSamples {
 			inflation.Add(x)
 		}

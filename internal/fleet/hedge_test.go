@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// hedgedOpts is the canonical hedged fee-market arena sweep: hedging
+// needs the fee market's base-fee trajectory to price premiums, and the
+// adversary mix supplies the sore losers the cover defends against.
+func hedgedOpts(deals, workers int, hedged bool) Options {
+	o := Options{
+		Deals:   deals,
+		Workers: workers,
+		Gen: GenOptions{
+			Seed:          7,
+			Protocol:      "mixed",
+			AdversaryRate: 0.35,
+			Fees:          &FeeOptions{BaseFee: 100, TipBudget: 400},
+		},
+		Arena: &ArenaOptions{DealsPerArena: 20, Chains: 3, Volatility: 0.05},
+	}
+	o.Arena.Hedge = hedged
+	return o
+}
+
+func renderedHedgedReport(t *testing.T, opts Options) string {
+	t.Helper()
+	rep, err := Sweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestHedgedSweepDeterministicAcrossWorkerCounts: the hedged arena
+// sweep keeps the fleet's reproducibility contract — byte-identical
+// reports (tables and JSON, hedging block included) for any pool size.
+// Run under -race this also exercises the hedged fan-out.
+func TestHedgedSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	want := renderedHedgedReport(t, hedgedOpts(60, 1, true))
+	for _, workers := range []int{4, 16} {
+		if got := renderedHedgedReport(t, hedgedOpts(60, workers, true)); got != want {
+			t.Fatalf("hedged report at %d workers diverges from serial run:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+// TestHedgedSweepShrinksResidualLoss is the fleet-level acceptance
+// assertion: on the same master seed, the hedged sweep's residual
+// sore-loser loss is strictly below the unhedged twin's loss — the
+// payouts in the Hedging block absorb the attack — while the unhedged
+// twin carries no hedging block at all.
+func TestHedgedSweepShrinksResidualLoss(t *testing.T) {
+	bare, err := Sweep(hedgedOpts(60, 4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, err := Sweep(hedgedOpts(60, 4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Hedging != nil {
+		t.Fatal("unhedged sweep grew a hedging block")
+	}
+	if bare.Interference == nil || bare.Interference.SoreLoserLoss == 0 {
+		t.Fatal("unhedged twin stranded nothing on this seed; the comparison is vacuous")
+	}
+	h := covered.Hedging
+	if h == nil {
+		t.Fatal("hedged sweep carries no hedging block")
+	}
+	if h.Collateral != 1.0 || h.VolWindow != 32 {
+		t.Fatalf("hedging config echo wrong: %+v", h)
+	}
+	if h.Binds == 0 || h.PremiumsPaid == 0 {
+		t.Fatal("hedged sweep bound no cover")
+	}
+	if h.Settles > h.Binds {
+		t.Fatalf("settled %d of %d positions", h.Settles, h.Binds)
+	}
+	if h.PayoutsClaimed == 0 {
+		t.Fatal("no payouts claimed despite sore losers in the mix")
+	}
+	if h.GrossSoreLoserLoss != covered.Interference.SoreLoserLoss {
+		t.Fatalf("hedging block gross %d disagrees with interference %d",
+			h.GrossSoreLoserLoss, covered.Interference.SoreLoserLoss)
+	}
+	if h.ResidualSoreLoserLoss >= bare.Interference.SoreLoserLoss {
+		t.Fatalf("hedged residual %d not strictly below the unhedged twin's loss %d",
+			h.ResidualSoreLoserLoss, bare.Interference.SoreLoserLoss)
+	}
+	if h.ResidualSoreLoserLoss >= h.GrossSoreLoserLoss {
+		t.Fatalf("payouts absorbed nothing: residual %d of gross %d",
+			h.ResidualSoreLoserLoss, h.GrossSoreLoserLoss)
+	}
+	if a := h.Absorbed(); a <= 0 || a > 1 {
+		t.Fatalf("absorbed fraction %v outside (0, 1]", a)
+	}
+	if !covered.Clean() {
+		var buf bytes.Buffer
+		covered.Fprint(&buf)
+		t.Fatalf("hedged population not clean:\n%s", buf.String())
+	}
+}
+
+// TestHedgedPremiumVolDeciles: the premium-by-volatility decile table
+// is well-formed — deciles ascend, bind counts sum to the bind total,
+// and premiums price as a sane fraction of the collateral they insure.
+func TestHedgedPremiumVolDeciles(t *testing.T) {
+	rep, err := Sweep(hedgedOpts(60, 4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rep.Hedging
+	if h == nil || len(h.PremiumByVolDecile) == 0 {
+		t.Fatal("no premium-by-volatility deciles")
+	}
+	binds, lastDecile, lastVol := 0, 0, -1
+	for _, d := range h.PremiumByVolDecile {
+		if d.Decile <= lastDecile {
+			t.Fatalf("deciles not ascending: %+v", h.PremiumByVolDecile)
+		}
+		if d.MaxVolBps < lastVol {
+			t.Fatalf("volatility bounds not ascending: %+v", h.PremiumByVolDecile)
+		}
+		if d.Binds == 0 {
+			t.Fatalf("empty decile survived merging: %+v", d)
+		}
+		if d.MeanPremiumPct <= 0 || d.MeanPremiumPct > 100 {
+			t.Fatalf("premium %% %v outside (0, 100]: %+v", d.MeanPremiumPct, d)
+		}
+		binds += d.Binds
+		lastDecile, lastVol = d.Decile, d.MaxVolBps
+	}
+	if binds != h.Binds {
+		t.Fatalf("decile binds sum to %d, hedging block counted %d", binds, h.Binds)
+	}
+}

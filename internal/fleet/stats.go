@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"xdeal/internal/arena"
 	"xdeal/internal/engine"
 )
 
@@ -224,6 +226,10 @@ type Report struct {
 	// arena sweeps.
 	OrderingGames *OrderingGames `json:"ordering_games,omitempty"`
 
+	// Hedging carries the sore-loser defense metrics; nil unless the
+	// sweep ran hedged arenas (ArenaOptions.Hedge).
+	Hedging *Hedging `json:"hedging,omitempty"`
+
 	// ReplayCommand, when set by the caller, is a printf format with one
 	// %d verb for a deal index; Fprint uses it to print a ready-to-paste
 	// replay command next to each flagged violation. Not serialized.
@@ -276,6 +282,160 @@ type OrderingGames struct {
 	// higher deciles should wait less; empty deciles are merged into
 	// the next non-empty one).
 	InclusionDelay []TipDecile `json:"inclusion_delay_by_tip_decile"`
+}
+
+// Hedging summarizes a hedged sweep: what sore-loser insurance cost,
+// what it paid, and how much of the attack's damage it absorbed.
+type Hedging struct {
+	// Collateral and VolWindow echo the sweep's hedge configuration.
+	Collateral float64 `json:"collateral"`
+	VolWindow  int     `json:"vol_window"`
+	// Binds and Settles count positions opened and settled.
+	Binds   int `json:"binds"`
+	Settles int `json:"settles"`
+	// PremiumsPaid is the gross premium spend at bind; PremiumsRefunded
+	// returned to holders whose cover went unused (net of the pool's
+	// retention); PayoutsClaimed is the collateral paid to sore-loser
+	// victims.
+	PremiumsPaid     uint64 `json:"premiums_paid"`
+	PremiumsRefunded uint64 `json:"premiums_refunded"`
+	PayoutsClaimed   uint64 `json:"payouts_claimed"`
+	// GrossSoreLoserLoss mirrors Interference.SoreLoserLoss;
+	// ResidualSoreLoserLoss is what remains after payouts absorbed it
+	// (per-deal, floored at zero). The defense's headline: residual
+	// shrinking toward zero while gross stays put.
+	GrossSoreLoserLoss    uint64 `json:"gross_sore_loser_loss"`
+	ResidualSoreLoserLoss uint64 `json:"residual_sore_loser_loss"`
+	// PremiumByVolDecile distributes premium cost (as % of insured
+	// collateral) across deciles of binds ranked by the realized
+	// base-fee volatility they were priced at — congested chains should
+	// sit in the upper deciles at visibly higher rates.
+	PremiumByVolDecile []VolDecile `json:"premium_by_vol_decile"`
+}
+
+// Absorbed is the fraction of the gross sore-loser loss the payouts
+// absorbed (0 with no loss).
+func (h *Hedging) Absorbed() float64 {
+	if h.GrossSoreLoserLoss == 0 {
+		return 0
+	}
+	return 1 - float64(h.ResidualSoreLoserLoss)/float64(h.GrossSoreLoserLoss)
+}
+
+// VolDecile is one base-fee-volatility decile's premium summary.
+type VolDecile struct {
+	Decile    int `json:"decile"`      // 1..10, by ascending realized volatility
+	MaxVolBps int `json:"max_vol_bps"` // largest volatility in the decile, basis points
+	Binds     int `json:"binds"`
+	// MeanPremiumPct is the decile's mean premium as a percentage of
+	// the collateral it insured.
+	MeanPremiumPct float64 `json:"mean_premium_pct"`
+}
+
+// hedgeAgg folds hedge observations in constant memory: counters plus
+// a volatility-keyed histogram (volatilities arrive quantized to basis
+// points, so the key space stays tiny).
+type hedgeAgg struct {
+	collateral float64
+	volWindow  int
+	binds      int
+	settles    int
+	premiums   uint64
+	refunds    uint64
+	payouts    uint64
+	gross      uint64
+	residual   uint64
+	byVol      map[int]*volPremiumAgg
+}
+
+type volPremiumAgg struct {
+	binds         int
+	premiumSum    uint64
+	collateralSum uint64
+}
+
+// EnableHedging arms the hedging block: the report will carry it even
+// for an empty population, echoing the sweep's configuration.
+func (a *Aggregator) EnableHedging(collateral float64, volWindow int) {
+	if a.hedge == nil {
+		a.hedge = &hedgeAgg{byVol: make(map[int]*volPremiumAgg)}
+	}
+	a.hedge.collateral, a.hedge.volWindow = collateral, volWindow
+}
+
+// AddHedgeArena folds one arena's hedge metrics (arena order, so the
+// report stays byte-identical for any worker count).
+func (a *Aggregator) AddHedgeArena(inter arena.Interference) {
+	if a.hedge == nil {
+		return
+	}
+	h := a.hedge
+	h.binds += inter.HedgeBinds
+	h.settles += inter.HedgeSettles
+	h.premiums += inter.PremiumsPaid
+	h.refunds += inter.PremiumsRefunded
+	h.payouts += inter.PayoutsClaimed
+	h.gross += inter.SoreLoserLoss
+	h.residual += inter.ResidualSoreLoserLoss
+	for _, s := range inter.HedgeSamples {
+		v := h.byVol[s.VolBps]
+		if v == nil {
+			v = &volPremiumAgg{}
+			h.byVol[s.VolBps] = v
+		}
+		v.binds++
+		v.premiumSum += s.Premium
+		v.collateralSum += s.Collateral
+	}
+}
+
+// hedging finalizes the block.
+func (h *hedgeAgg) hedging() *Hedging {
+	return &Hedging{
+		Collateral:            h.collateral,
+		VolWindow:             h.volWindow,
+		Binds:                 h.binds,
+		Settles:               h.settles,
+		PremiumsPaid:          h.premiums,
+		PremiumsRefunded:      h.refunds,
+		PayoutsClaimed:        h.payouts,
+		GrossSoreLoserLoss:    h.gross,
+		ResidualSoreLoserLoss: h.residual,
+		PremiumByVolDecile:    h.volDeciles(),
+	}
+}
+
+// volDeciles splits the volatility-keyed histogram into deciles of
+// binds ranked by realized volatility (foldDeciles carries the shared
+// whole-bucket assignment).
+func (h *hedgeAgg) volDeciles() []VolDecile {
+	vols := make([]int, 0, len(h.byVol))
+	total := 0
+	for v, agg := range h.byVol {
+		vols = append(vols, v)
+		total += agg.binds
+	}
+	if total == 0 {
+		return nil
+	}
+	sort.Ints(vols)
+	var out []VolDecile
+	var premiumSum, collateralSum uint64
+	foldDeciles(vols, total,
+		func(v int) int { return h.byVol[v].binds },
+		func(v int) {
+			premiumSum += h.byVol[v].premiumSum
+			collateralSum += h.byVol[v].collateralSum
+		},
+		func(decile int, maxVol int, binds int) {
+			vd := VolDecile{Decile: decile, MaxVolBps: maxVol, Binds: binds}
+			if collateralSum > 0 {
+				vd.MeanPremiumPct = 100 * float64(premiumSum) / float64(collateralSum)
+			}
+			out = append(out, vd)
+			premiumSum, collateralSum = 0, 0
+		})
+	return out
 }
 
 // WinRate returns wins/attempts (0 for none).
@@ -386,11 +546,36 @@ func (f *feeAgg) orderingGames() *OrderingGames {
 	return o
 }
 
+// foldDeciles assigns whole histogram buckets (keys ascending) to
+// deciles of a total-item population: a bucket's items are consumed in
+// key order against ceil(d·total/10) boundaries, so equal keys never
+// straddle a boundary, and deciles left empty by a large bucket merge
+// into the one that swallowed them. absorb folds a bucket's payload
+// into the open decile; flush emits a finished decile (its index, the
+// largest key it swallowed, its item count) and must reset the
+// caller's payload accumulators. Shared by the tip-delay and
+// hedge-premium decile tables so the two can never diverge.
+func foldDeciles[K cmp.Ordered](keys []K, total int, count func(K) int, absorb func(K), flush func(decile int, maxKey K, items int)) {
+	cum, d, open, items := 0, 1, 1, 0
+	var maxKey K
+	boundary := func(d int) int { return (d*total + 9) / 10 } // ceil(d·total/10)
+	for _, k := range keys {
+		absorb(k)
+		items += count(k)
+		maxKey = k
+		cum += count(k)
+		for d <= 10 && cum >= boundary(d) {
+			d++
+		}
+		if d > open {
+			flush(open, maxKey, items)
+			open, items = d, 0
+		}
+	}
+}
+
 // deciles splits the tip-keyed histogram into deciles of included
-// transactions ranked by tip. Whole tip buckets are assigned to a
-// decile until its share of the population is reached, so equal tips
-// never straddle a boundary; deciles left empty by a large bucket are
-// merged into the decile that swallowed them.
+// transactions ranked by tip.
 func (f *feeAgg) deciles() []TipDecile {
 	tips := make([]uint64, 0, len(f.tipDelay))
 	total := 0
@@ -403,26 +588,17 @@ func (f *feeAgg) deciles() []TipDecile {
 	}
 	sort.Slice(tips, func(i, j int) bool { return tips[i] < tips[j] })
 	var out []TipDecile
-	cum, d := 0, 1
-	cur := TipDecile{Decile: d}
-	var curDelay int64
-	boundary := func(d int) int { return (d*total + 9) / 10 } // ceil(d·total/10)
-	for _, tip := range tips {
-		agg := f.tipDelay[tip]
-		cur.Count += agg.count
-		cur.MaxTip = tip
-		curDelay += agg.delaySum
-		cum += agg.count
-		for d <= 10 && cum >= boundary(d) {
-			d++
-		}
-		if d > cur.Decile {
-			cur.MeanDelay = float64(curDelay) / float64(cur.Count)
-			out = append(out, cur)
-			cur = TipDecile{Decile: d}
-			curDelay = 0
-		}
-	}
+	var delaySum int64
+	foldDeciles(tips, total,
+		func(t uint64) int { return f.tipDelay[t].count },
+		func(t uint64) { delaySum += f.tipDelay[t].delaySum },
+		func(decile int, maxTip uint64, txs int) {
+			out = append(out, TipDecile{
+				Decile: decile, MaxTip: maxTip, Count: txs,
+				MeanDelay: float64(delaySum) / float64(txs),
+			})
+			delaySum = 0
+		})
 	return out
 }
 
@@ -436,7 +612,8 @@ const maxViolations = 1000
 type Aggregator struct {
 	rep        *Report
 	gas, dtime Sketch
-	fees       *feeAgg // nil unless EnableFees armed the ordering block
+	fees       *feeAgg   // nil unless EnableFees armed the ordering block
+	hedge      *hedgeAgg // nil unless EnableHedging armed the hedging block
 }
 
 // NewAggregator returns an empty aggregator.
@@ -500,6 +677,9 @@ func (a *Aggregator) Report() *Report {
 	a.rep.DeltaTime = a.dtime.Dist()
 	if a.fees != nil {
 		a.rep.OrderingGames = a.fees.orderingGames()
+	}
+	if a.hedge != nil {
+		a.rep.Hedging = a.hedge.hedging()
 	}
 	return a.rep
 }
@@ -605,6 +785,24 @@ func (rep *Report) Fprint(w io.Writer) {
 				fmt.Fprintf(dtw, "    d%d\t%d\t%d\t%.1f\n", td.Decile, td.MaxTip, td.Count, td.MeanDelay)
 			}
 			dtw.Flush()
+		}
+	}
+
+	if h := rep.Hedging; h != nil {
+		fmt.Fprintf(w, "\nhedging (collateral ×%g, premium vol window %d blocks):\n", h.Collateral, h.VolWindow)
+		fmt.Fprintf(w, "  cover: %d positions bound, %d settled; premiums %d paid, %d refunded\n",
+			h.Binds, h.Settles, h.PremiumsPaid, h.PremiumsRefunded)
+		fmt.Fprintf(w, "  payouts: %d claimed on post-trigger aborts\n", h.PayoutsClaimed)
+		fmt.Fprintf(w, "  sore-loser loss: %d gross -> %d residual (%.1f%% absorbed)\n",
+			h.GrossSoreLoserLoss, h.ResidualSoreLoserLoss, 100*h.Absorbed())
+		if len(h.PremiumByVolDecile) > 0 {
+			fmt.Fprintf(w, "  premium by base-fee-volatility decile:\n")
+			htw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(htw, "    decile\tmax vol (bps)\tbinds\tpremium %")
+			for _, vd := range h.PremiumByVolDecile {
+				fmt.Fprintf(htw, "    d%d\t%d\t%d\t%.2f\n", vd.Decile, vd.MaxVolBps, vd.Binds, vd.MeanPremiumPct)
+			}
+			htw.Flush()
 		}
 	}
 

@@ -42,6 +42,14 @@ type AdaptiveHooks struct {
 	// bidders); won is whether p's transaction executed successfully
 	// (it beat the victim to the state change).
 	OnFrontRun func(p chain.Addr, method string, bid uint64, won bool)
+	// OnHedgeBound reports a hedged party's confirmed cover: party p
+	// paid premium for a collateral bond, priced at the hosting chain's
+	// realized base-fee volatility vol (see internal/hedge).
+	OnHedgeBound func(p chain.Addr, collateral, premium uint64, vol float64)
+	// OnHedgeSettled reports a settled hedge position: a sore-loser
+	// payout of amount when payout is true, a premium refund (net of
+	// the pool's retention) otherwise.
+	OnHedgeSettled func(p chain.Addr, payout bool, amount uint64)
 }
 
 // backedOut reports whether an adaptive trigger has fired: the party has

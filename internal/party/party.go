@@ -47,6 +47,7 @@ const (
 	LabelTransfer = "transfer"
 	LabelCommit   = "commit"
 	LabelAbort    = "abort"
+	LabelHedge    = "hedge"
 )
 
 // Behavior encodes deviations from the protocol. The zero value is fully
@@ -111,6 +112,16 @@ type Behavior struct {
 	// counterparty's deposit — maximizing how long others' assets stay
 	// locked while keeping its own refund poke.
 	Grief bool
+
+	// Hedged arms the sore-loser defense (Xue & Herlihy): the party
+	// refuses to lock an unhedged fungible deposit — it first binds
+	// premium-priced cover at the hedging contract paired with the
+	// escrow (see internal/hedge and Config.Hedge) — and settles its
+	// positions when escrows finalize, claiming the collateral payout
+	// when a deal aborted after its capital was locked past the
+	// sore-loser trigger. Hedging is a defense, not a deviation: a
+	// hedged party keeps every protocol duty and stays compliant.
+	Hedged bool
 }
 
 // Compliant reports whether the behavior deviates in any way that can
@@ -154,6 +165,10 @@ type Config struct {
 	// front-runners and griefers still act (on mempool gossip and
 	// escrow events) but go unmetered.
 	Adaptive *AdaptiveHooks
+	// Hedge wires a Behavior.Hedged party to the world's hedging
+	// contracts (see hedge.go); nil leaves the Hedged flag inert. The
+	// engine fills it when the world is built with hedging enabled.
+	Hedge *HedgeConfig
 	// OnValidated, when non-nil, is invoked when the party finishes its
 	// validation phase (engine timing metrics).
 	OnValidated func(p chain.Addr, at sim.Time)
@@ -189,6 +204,12 @@ type Party struct {
 	griefed    bool // griefer trigger fired: cease duties
 	basePrices map[chain.Addr]float64
 
+	// Hedge driver state (see hedge.go), keyed by escrow key.
+	hedgeSubmitted map[string]bool // bind published, receipt pending
+	hedgeBound     map[string]bool // cover confirmed on chain
+	hedgeClaiming  map[string]bool // claim published, receipt pending
+	hedgeSettled   map[string]bool // position settled
+
 	// Fee strategy state (see fees.go).
 	startedAt sim.Time // deal start, anchors deadline urgency
 	feeSpent  uint64   // tips committed by the fee bidder so far
@@ -208,6 +229,10 @@ func New(addr chain.Addr, cfg Config) *Party {
 		escrowConfirmed: make(map[string]bool),
 		acceptedAt:      make(map[string]map[chain.Addr]bool),
 		forwarded:       make(map[string]map[chain.Addr]bool),
+		hedgeSubmitted:  make(map[string]bool),
+		hedgeBound:      make(map[string]bool),
+		hedgeClaiming:   make(map[string]bool),
+		hedgeSettled:    make(map[string]bool),
 	}
 }
 
@@ -325,6 +350,11 @@ func (p *Party) onChainEvent(ev chain.Event) {
 		p.adaptiveOnEscrowEvent(ev)
 		p.tryTransfers()
 		p.checkValidation()
+	case escrow.EventCommitted, escrow.EventAborted:
+		if dealOf(ev) != p.cfg.Spec.ID {
+			return
+		}
+		p.hedgeOnOutcome(ev)
 	default:
 		if p.cfg.Protocol == ProtoTimelock {
 			p.onTimelockEvent(ev)
@@ -414,6 +444,12 @@ func (p *Party) performEscrows(info any) {
 		}
 		key := ob.Asset.Key()
 		if p.escrowSubmitted[key] {
+			continue
+		}
+		// A hedged party refuses to lock an unhedged fungible deposit:
+		// hedgeReady binds cover first and re-enters performEscrows once
+		// the position is confirmed.
+		if !p.hedgeReady(ob, info) {
 			continue
 		}
 		p.escrowSubmitted[key] = true

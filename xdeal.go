@@ -31,6 +31,7 @@ import (
 	"xdeal/internal/deal"
 	"xdeal/internal/engine"
 	"xdeal/internal/fleet"
+	"xdeal/internal/hedge"
 	"xdeal/internal/party"
 	"xdeal/internal/sim"
 )
@@ -151,6 +152,15 @@ type (
 	FeeOptions = fleet.FeeOptions
 	// OrderingGames is the fee-market block of a sweep report.
 	OrderingGames = fleet.OrderingGames
+	// HedgeParams configures the sore-loser defense (Options.Hedge and
+	// ArenaOptions.Hedge): premium-priced deposit insurance in the
+	// spirit of Xue & Herlihy, layered on the escrow managers, with
+	// premiums priced off each chain's realized base-fee volatility.
+	HedgeParams = hedge.Params
+	// Hedging is the sore-loser-defense block of a hedged sweep report:
+	// premiums paid and refunded, payouts claimed, gross vs residual
+	// sore-loser loss, and premium cost by base-fee-volatility decile.
+	Hedging = fleet.Hedging
 )
 
 // Sweep synthesizes a randomized population of deals from the master
