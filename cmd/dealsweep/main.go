@@ -33,6 +33,21 @@
 //	dealsweep -deals 200 -seed 7 -feemarket
 //	dealsweep -arena -deals 200 -seed 7 -feemarket -base-fee 50 -tip-budget 800
 //
+// Bundle mode (-bundles, arena + feemarket) turns the ordering game
+// deal-granular: every shared chain runs a per-block combinatorial
+// auction in which each deal's pending transactions compete as one
+// all-or-nothing bundle with an aggregate bid (greedy winner
+// determination by bid-per-slot density, FIFO revenue floor), compliant
+// parties escalate their deal's per-slot bid toward the timelock
+// deadline, the front-runner slot of the adversary mix griefs whole
+// bundles from a -bundle-budget, and the report gains a bundle-auctions
+// block (win/defer rates, exclusion attempts/successes, deadline slack
+// by bid decile). -budget-bundle-defer gates the population's bundle
+// defer rate.
+//
+//	dealsweep -arena -deals 200 -seed 7 -feemarket -bundles
+//	dealsweep -arena -deals 200 -seed 7 -feemarket -bundles -bundle-budget 800
+//
 // Hedge mode (-hedge, arena only) arms the sore-loser defense of Xue &
 // Herlihy: every fungible escrow gains a premium-priced insurance
 // contract, the compliant mix slots refuse to lock unhedged deposits
@@ -103,6 +118,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	volatility := fs.Float64("volatility", 0.02, "market price volatility per tick (arena mode)")
 	noBaselines := fs.Bool("no-baselines", false, "skip isolated baselines; drops the latency-inflation metric (arena mode)")
 
+	bundleMode := fs.Bool("bundles", false, "combinatorial block-space auctions: deals bid for blocks as all-or-nothing bundles, front-runners grief whole bundles (arena + feemarket mode)")
+	bundleBudget := fs.Uint64("bundle-budget", 400, "bundle griefer per-slot bid increment budget (bundles mode)")
+
 	hedgeMode := fs.Bool("hedge", false, "arm the sore-loser defense: premium-priced deposit insurance for compliant parties (arena mode)")
 	hedgeCollateral := fs.Float64("hedge-collateral", 1.0, "collateral bond as a multiple of the insured deposit (hedge mode)")
 	premiumVolWindow := fs.Int("premium-vol-window", 32, "base-fee volatility window, in blocks, premiums are priced over (hedge mode)")
@@ -111,6 +129,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	budgetP99Gas := fs.Float64("budget-p99-gas", 0, "fail (exit 1) when p99 per-deal gas exceeds this (0 = off)")
 	budgetFeePerCommit := fs.Float64("budget-fee-per-commit", 0, "fail (exit 1) when mean fee spend per committed deal exceeds this (feemarket mode, 0 = off)")
 	budgetResidualLoss := fs.Float64("budget-residual-loss", 0, "fail (exit 1) when residual sore-loser loss exceeds this (hedge mode, 0 = off)")
+	budgetBundleDefer := fs.Float64("budget-bundle-defer", 0, "fail (exit 1) when the bundle defer rate exceeds this fraction (bundles mode, 0 = off)")
 
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -146,11 +165,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail("-premium-vol-window must be positive, got %d", *premiumVolWindow)
 		}
 	}
+	if *bundleMode {
+		if !*feeMarket {
+			return fail("-bundles needs -feemarket (an all-or-nothing bundle bids into the fee market's ledger)")
+		}
+		if !*arenaMode {
+			return fail("-bundles needs -arena (bundles compete against other deals' bundles for shared blocks)")
+		}
+		if *bundleBudget == 0 {
+			// Behavior.BundleBudget treats 0 as unlimited, but sweep
+			// options default 0 away — at the CLI the two readings are
+			// indistinguishable, so demand an explicit cap.
+			return fail("-bundle-budget must be positive (0 is ambiguous: unlimited at the Behavior level, defaulted in sweeps — pick an explicit cap)")
+		}
+	}
 	if *budgetFeePerCommit > 0 && !*feeMarket {
 		return fail("-budget-fee-per-commit needs -feemarket")
 	}
 	if *budgetResidualLoss > 0 && !*hedgeMode {
 		return fail("-budget-residual-loss needs -hedge")
+	}
+	if *budgetBundleDefer > 0 && !*bundleMode {
+		return fail("-budget-bundle-defer needs -bundles")
 	}
 	gen := fleet.GenOptions{
 		Seed:          *seed,
@@ -173,6 +209,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Chains:        *chains,
 			Volatility:    *volatility,
 			Baselines:     !*noBaselines,
+		}
+		if *bundleMode {
+			opts.Arena.Bundles = true
+			opts.Arena.BundleBudget = *bundleBudget
 		}
 		if *hedgeMode {
 			opts.Arena.Hedge = true
@@ -219,6 +259,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.OrderingGames.FeePerCommit > *budgetFeePerCommit {
 		fmt.Fprintf(stderr, "dealsweep: BUDGET BREACH: fee per committed deal %.1f exceeds budget %.1f\n",
 			rep.OrderingGames.FeePerCommit, *budgetFeePerCommit)
+		failed = true
+	}
+	if *budgetBundleDefer > 0 && rep.BundleAuctions != nil &&
+		rep.BundleAuctions.DeferRate() > *budgetBundleDefer {
+		fmt.Fprintf(stderr, "dealsweep: BUDGET BREACH: bundle defer rate %.3f exceeds budget %.3f (%d won / %d deferred)\n",
+			rep.BundleAuctions.DeferRate(), *budgetBundleDefer,
+			rep.BundleAuctions.Wins, rep.BundleAuctions.Defers)
 		failed = true
 	}
 	if *budgetResidualLoss > 0 && rep.Hedging != nil &&
@@ -308,6 +355,9 @@ func replayCommand(opts fleet.Options) string {
 			a.DealsPerArena, a.Chains, a.Volatility)
 		if !a.Baselines {
 			cmd += " -no-baselines"
+		}
+		if a.Bundles {
+			cmd += fmt.Sprintf(" -bundles -bundle-budget %d", a.BundleBudget)
 		}
 		if a.Hedge {
 			cmd += fmt.Sprintf(" -hedge -hedge-collateral %v -premium-vol-window %d",

@@ -30,6 +30,11 @@ func TestFlagValidationRejectsDegenerateSweeps(t *testing.T) {
 		{"zero-vol-window", []string{"-arena", "-hedge", "-premium-vol-window", "0"}, "-premium-vol-window must be positive"},
 		{"residual-budget-without-hedge", []string{"-budget-residual-loss", "5"}, "-budget-residual-loss needs -hedge"},
 		{"fee-budget-without-feemarket", []string{"-budget-fee-per-commit", "5"}, "-budget-fee-per-commit needs -feemarket"},
+		{"bundles-without-feemarket", []string{"-arena", "-bundles"}, "-bundles needs -feemarket"},
+		{"bundles-without-arena", []string{"-feemarket", "-bundles"}, "-bundles needs -arena"},
+		{"zero-bundle-budget", []string{"-arena", "-feemarket", "-bundles", "-bundle-budget", "0"}, "-bundle-budget must be positive"},
+		{"negative-bundle-budget", []string{"-arena", "-feemarket", "-bundles", "-bundle-budget", "-3"}, "invalid value"},
+		{"defer-budget-without-bundles", []string{"-budget-bundle-defer", "0.5"}, "-budget-bundle-defer needs -bundles"},
 		{"stray-argument", []string{"extra"}, "unexpected argument"},
 		{"unknown-flag", []string{"-no-such-flag"}, "flag provided but not defined"},
 	}
@@ -96,6 +101,38 @@ func TestGoldenJSONReportHedgedArena(t *testing.T) {
 		"-arena", "-deals", "24", "-arena-deals", "12", "-chains", "2",
 		"-seed", "7", "-feemarket", "-hedge", "-volatility", "0.05",
 		"-no-baselines", "-workers", "4", "-json")
+}
+
+// TestGoldenJSONReportBundleArena pins the bundled arena schema — the
+// bundle-auctions block (win/defer rates, exclusion counters, deadline
+// slack by bid decile) alongside the interference and ordering-games
+// blocks it rides with.
+func TestGoldenJSONReportBundleArena(t *testing.T) {
+	goldenCheck(t, "golden_bundle_arena.json", 0,
+		"-arena", "-deals", "24", "-arena-deals", "12", "-chains", "2",
+		"-seed", "7", "-feemarket", "-bundles", "-volatility", "0.05",
+		"-no-baselines", "-workers", "4", "-json")
+}
+
+// TestBundleDeferBudgetGate: an absurdly tight defer-rate budget must
+// trip the gate (exit 1) with a breach message; a generous one passes.
+func TestBundleDeferBudgetGate(t *testing.T) {
+	base := []string{
+		"-arena", "-deals", "40", "-arena-deals", "20", "-chains", "2",
+		"-seed", "7", "-adversary-rate", "0.4", "-feemarket", "-bundles",
+		"-no-baselines", "-workers", "4", "-json"}
+	var stdout, stderr bytes.Buffer
+	if code := run(append(base, "-budget-bundle-defer", "0.0001"), &stdout, &stderr); code != 1 {
+		t.Fatalf("tight defer budget exited %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "bundle defer rate") {
+		t.Fatalf("no breach message: %s", stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(append(base, "-budget-bundle-defer", "0.99"), &stdout, &stderr); code != 0 {
+		t.Fatalf("generous defer budget exited %d, want 0\nstderr: %s", code, stderr.String())
+	}
 }
 
 // TestReportIndependentOfWorkerCount: the golden runs again at a

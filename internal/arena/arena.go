@@ -17,8 +17,8 @@ package arena
 
 import (
 	"fmt"
-
 	"sort"
+	"strings"
 
 	"xdeal/internal/chain"
 	"xdeal/internal/engine"
@@ -64,13 +64,26 @@ type Options struct {
 	// TipBudget caps each fee-bidding front-runner's total tip spend
 	// (default 400).
 	TipBudget uint64
+	// Bundles turns the ordering game deal-granular: every fee-market
+	// chain runs a per-block combinatorial auction (see internal/bundle)
+	// in which each deal's pending transactions compete as one
+	// all-or-nothing bundle with an aggregate bid, compliant parties
+	// escalate their deal's per-slot bid toward the timelock deadline,
+	// and the front-runner slot of the adversary mix becomes a
+	// bundle-griefing adversary that outbids victims' whole bundles
+	// (see Options.BundleBudget). Requires FeeMarket.
+	Bundles bool
+	// BundleBudget caps each bundle griefer's total per-slot bid
+	// increments (default 400, the tip-budget denomination).
+	BundleBudget uint64
 	// Hedge arms the sore-loser defense: every fungible escrow gains a
 	// premium-priced insurance contract (see internal/hedge), and the
 	// population's compliant mix slots hedge their deposits — refusing
 	// to lock unhedged capital and claiming collateral payouts when a
 	// deal aborts after the trigger. Premiums are priced off each
-	// chain's realized base-fee volatility, so hedging couples to the
-	// fee market's congestion signal.
+	// chain's realized base-fee volatility (and, under Bundles, the
+	// deal's realized bundle-loss streak), so hedging couples to the
+	// fee market's congestion signals.
 	Hedge bool
 	// HedgeCollateral is the bond size as a multiple of the insured
 	// deposit (default 1.0).
@@ -108,6 +121,12 @@ func (o *Options) defaults() error {
 	}
 	if o.TipBudget == 0 {
 		o.TipBudget = 400
+	}
+	if o.Bundles && !o.FeeMarket {
+		return fmt.Errorf("arena: bundles require the fee market (an aggregate bid needs a fee ledger)")
+	}
+	if o.BundleBudget == 0 {
+		o.BundleBudget = 400
 	}
 	if o.HedgeCollateral < 0 {
 		return fmt.Errorf("arena: negative hedge collateral %v", o.HedgeCollateral)
@@ -163,6 +182,11 @@ type DealOutcome struct {
 	SoreLosers int
 	FrontRuns  int
 
+	// BundleWins and BundleDefers count this deal's bundle-auction
+	// participations won and lost (zero without Options.Bundles).
+	BundleWins   int
+	BundleDefers int
+
 	// Fees is the deal's fee-market spend (base fees burned plus tips
 	// paid by its transactions); zero without a fee market.
 	Fees uint64
@@ -209,9 +233,32 @@ type Interference struct {
 	PremiumsRefunded      uint64 `json:"premiums_refunded,omitempty"`
 	PayoutsClaimed        uint64 `json:"payouts_claimed,omitempty"`
 	ResidualSoreLoserLoss uint64 `json:"residual_sore_loser_loss"`
+	// Combinatorial bundle-auction metrics (all zero without
+	// Options.Bundles): auctions run across the shared chains, bundle
+	// participations won and deferred, bundle-griefing raises
+	// (attempts) and the auctions in which a targeted victim's bundle
+	// was deferred while the griefer's won (successes). A raise is a
+	// standing bid, so one attempt can land exclusions in many
+	// consecutive blocks — successes may exceed attempts.
+	BundleAuctions     int `json:"bundle_auctions,omitempty"`
+	BundleWins         int `json:"bundle_wins,omitempty"`
+	BundleDefers       int `json:"bundle_defers,omitempty"`
+	ExclusionAttempts  int `json:"exclusion_attempts,omitempty"`
+	ExclusionSuccesses int `json:"exclusion_successes,omitempty"`
+	// VictimExclusionBlocks counts blocks — in any fee-market arena,
+	// bundled or not — where an adversarial deal's work was included
+	// while a rival deal's arrived work (any deal other than the
+	// included adversaries themselves) was deferred past capacity. It
+	// is the uniform exclusion metric that makes tx-level fee bidding
+	// and bundle-level griefing comparable seed for seed.
+	VictimExclusionBlocks int `json:"victim_exclusion_blocks,omitempty"`
 	// InflationSamples holds per-deal arena/baseline decision-latency
 	// ratios (present only when baselines ran).
 	InflationSamples []float64 `json:"-"`
+	// BundleSamples holds one observation per winning bundle: the
+	// per-slot bid it won at and its deadline slack at inclusion — the
+	// raw material for the slack-by-bid-decile report.
+	BundleSamples []BundleSample `json:"-"`
 	// HedgeSamples holds one observation per bound position: the
 	// premium and collateral, and the realized base-fee volatility (in
 	// basis points) it was priced at — the raw material for the
@@ -224,6 +271,17 @@ type HedgeSample struct {
 	VolBps     int // realized base-fee volatility at bind, basis points
 	Premium    uint64
 	Collateral uint64
+	Streak     int // realized bundle-loss streak at bind (0 without bundles)
+}
+
+// BundleSample is one winning bundle's deadline-slack observation.
+type BundleSample struct {
+	// PerSlot is the per-slot bid the bundle won at.
+	PerSlot uint64
+	// SlackMilli is the bundle's deadline slack at inclusion, in
+	// thousandths of the owning deal's Δ (negative when the block that
+	// finally included it ran past the timelock horizon).
+	SlackMilli int64
 }
 
 // Result is the evaluated outcome of one arena run.
@@ -254,16 +312,26 @@ func Run(opts Options, pop []DealSetup) (*Result, error) {
 		MaxBlockTxs:   opts.MaxBlockTxs,
 		FeeMarket:     opts.feeConfig(),
 		Hedge:         opts.hedgeParams(),
+		Bundles:       opts.Bundles,
 	})
 	market := NewMarket(sub.Sched, sim.Mix64(opts.Seed^0xa5a5a5a5), opts.PriceTick, opts.Volatility)
 
-	// Party -> deal index, for routing adaptive-trigger callbacks.
+	// Party -> deal index, for routing adaptive-trigger callbacks, and
+	// deal id -> index, for attributing auction and block records.
 	owner := make(map[chain.Addr]int)
+	dealIdx := make(map[string]int, len(pop))
 	for k, setup := range pop {
 		for _, p := range setup.Spec.Parties {
 			owner[p] = k
 		}
+		dealIdx[setup.Spec.ID] = k
 	}
+	// Bundle-griefing attempts, per chain: griefer deal id -> victim
+	// deal ids it has bid against there so far. Auction records are
+	// matched against the hosting chain's map to count landed
+	// exclusions — a raise on one chain must not claim credit for
+	// congestion losses on another.
+	griefTargets := make(map[chain.ID]map[string]map[string]bool)
 	hooks := &party.AdaptiveHooks{
 		Oracle: market,
 		OnSoreLoser: func(p chain.Addr, tok chain.Addr, drift float64) {
@@ -284,7 +352,22 @@ func Run(opts Options, pop []DealSetup) (*Result, error) {
 				res.Interference.FrontRunWins++
 			}
 		},
-		OnHedgeBound: func(p chain.Addr, collateral, premium uint64, vol float64) {
+		OnBundleGrief: func(p chain.Addr, ch chain.ID, victimDeal string, _ uint64) {
+			g := pop[owner[p]].Spec.ID
+			byGriefer := griefTargets[ch]
+			if byGriefer == nil {
+				byGriefer = make(map[string]map[string]bool)
+				griefTargets[ch] = byGriefer
+			}
+			m := byGriefer[g]
+			if m == nil {
+				m = make(map[string]bool)
+				byGriefer[g] = m
+			}
+			m[victimDeal] = true
+			res.Interference.ExclusionAttempts++
+		},
+		OnHedgeBound: func(p chain.Addr, collateral, premium uint64, vol float64, streak int) {
 			res.Outcomes[owner[p]].Premiums += premium
 			res.Interference.HedgeBinds++
 			res.Interference.PremiumsPaid += premium
@@ -292,6 +375,7 @@ func Run(opts Options, pop []DealSetup) (*Result, error) {
 				VolBps:     int(vol*10000 + 0.5),
 				Premium:    premium,
 				Collateral: collateral,
+				Streak:     streak,
 			})
 		},
 		OnHedgeSettled: func(p chain.Addr, payout bool, amount uint64) {
@@ -319,6 +403,86 @@ func Run(opts Options, pop []DealSetup) (*Result, error) {
 			return nil, fmt.Errorf("arena: deal %d (%s): %w", k, setup.Spec.ID, err)
 		}
 		worlds[k] = w
+	}
+
+	// Exclusion and auction instrumentation on the shared chains. The
+	// label of every transaction is "dealID/phase", so a block
+	// summary's included/deferred labels map straight back to deals;
+	// a victim-exclusion block is one where an adversarial deal's work
+	// was included while a rival deal's arrived work was deferred —
+	// computed identically whether the ordering game runs at
+	// transaction or bundle granularity.
+	if opts.FeeMarket {
+		dealOf := func(label string) (int, bool) {
+			i := strings.LastIndex(label, "/")
+			if i < 0 {
+				return 0, false
+			}
+			k, ok := dealIdx[label[:i]]
+			return k, ok
+		}
+		ids := make([]string, 0, len(sub.Chains))
+		for id := range sub.Chains {
+			ids = append(ids, string(id))
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			c := sub.Chains[chain.ID(id)]
+			c.SubscribeBlocks(func(bs *chain.BlockSummary) {
+				advIncluded := make(map[int]bool)
+				for _, l := range bs.Included {
+					if k, ok := dealOf(l); ok && pop[k].Adversaries > 0 {
+						advIncluded[k] = true
+					}
+				}
+				if len(advIncluded) == 0 {
+					return
+				}
+				for _, l := range bs.Deferred {
+					// A victim is any rival deal displaced by the
+					// included adversaries — not the adversaries'
+					// own deals, whose work made it in.
+					if k, ok := dealOf(l); ok && !advIncluded[k] {
+						res.Interference.VictimExclusionBlocks++
+						return
+					}
+				}
+			})
+			if !opts.Bundles {
+				continue
+			}
+			c.SubscribeAuctions(func(rec *chain.AuctionRecord) {
+				res.Interference.BundleAuctions++
+				for _, w := range rec.Winners {
+					k, ok := dealIdx[w.Deal]
+					if !ok {
+						continue
+					}
+					res.Outcomes[k].BundleWins++
+					res.Interference.BundleWins++
+					if w.Deadline > 0 {
+						slack := (int64(w.Deadline) - int64(rec.Time)) * 1000 /
+							int64(pop[k].Spec.Delta)
+						res.Interference.BundleSamples = append(res.Interference.BundleSamples,
+							BundleSample{PerSlot: w.PerSlot, SlackMilli: slack})
+					}
+				}
+				for _, d := range rec.Deferred {
+					k, ok := dealIdx[d.Deal]
+					if !ok {
+						continue
+					}
+					res.Outcomes[k].BundleDefers++
+					res.Interference.BundleDefers++
+					for _, w := range rec.Winners {
+						if w.Deal != d.Deal && griefTargets[rec.Chain][w.Deal][d.Deal] {
+							res.Interference.ExclusionSuccesses++
+							break
+						}
+					}
+				}
+			})
+		}
 	}
 
 	// Stagger the starts across the arena and rebase each deal's
@@ -413,6 +577,7 @@ func engineOptions(opts Options, setup DealSetup, hooks *party.AdaptiveHooks) en
 		LabelPrefix:   setup.Spec.ID + "/",
 		Adaptive:      hooks,
 		Hedge:         opts.hedgeParams(),
+		Bundles:       opts.Bundles,
 	}
 	if opts.Protocol == "cbc" {
 		eo.Protocol = party.ProtoCBC
@@ -436,6 +601,7 @@ func runBaselines(opts Options, pop []DealSetup, res *Result) {
 			BlockInterval: opts.BlockInterval,
 			MaxBlockTxs:   opts.MaxBlockTxs,
 			FeeMarket:     opts.feeConfig(),
+			Bundles:       opts.Bundles,
 		})
 		market := NewMarket(sub.Sched, sim.Mix64(opts.Seed^0xa5a5a5a5), opts.PriceTick, opts.Volatility)
 		hooks := &party.AdaptiveHooks{Oracle: market}

@@ -48,6 +48,18 @@ type PopOptions struct {
 	FeeMarket bool
 	// TipBudget is each fee bidder's total tip spend cap (default 400).
 	TipBudget uint64
+	// Bundles upgrades the adversary mix for bundled worlds: the
+	// front-runner slot becomes a bundle-griefing adversary (with
+	// BundleBudget to spend on outbidding victims' whole bundles)
+	// instead of a single-tx fee bidder. Like FeeMarket and Hedged,
+	// the flag consumes no randomness, so a bundle population is the
+	// field-by-field seed-twin of its tx-level run — the same parties
+	// grief, at bundle granularity instead of tx granularity, which is
+	// what makes the two exclusion rates comparable seed for seed.
+	Bundles bool
+	// BundleBudget is each bundle griefer's total per-slot bid
+	// increment cap (default 400).
+	BundleBudget uint64
 	// Hedged upgrades the compliant mix slots to hedged parties: every
 	// party the adversary draw leaves compliant insures its deposits
 	// (Behavior.Hedged) instead of locking them bare. Like FeeMarket,
@@ -94,6 +106,9 @@ func (o *PopOptions) defaults() error {
 	}
 	if o.TipBudget == 0 {
 		o.TipBudget = 400
+	}
+	if o.BundleBudget == 0 {
+		o.BundleBudget = 400
 	}
 	return nil
 }
@@ -194,8 +209,16 @@ func synthDeal(opts PopOptions, k int) DealSetup {
 		case q < 0.60:
 			b = party.Behavior{FrontRun: true}
 			if opts.FeeMarket {
-				b.FeeBid = true
-				b.FeeBudget = opts.TipBudget
+				if opts.Bundles {
+					// Bundled worlds swap the ordering-game granularity:
+					// the same slot griefs whole bundles instead of
+					// outbidding single transactions.
+					b.BundleGrief = true
+					b.BundleBudget = opts.BundleBudget
+				} else {
+					b.FeeBid = true
+					b.FeeBudget = opts.TipBudget
+				}
 			}
 		case q < 0.80:
 			b = party.Behavior{Grief: true}

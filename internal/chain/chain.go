@@ -185,6 +185,13 @@ type Config struct {
 	// fee rises and falls with block fullness. Nil keeps the legacy
 	// FIFO chain, bit for bit.
 	FeeMarket *feemarket.Config
+	// Bundles enables the per-block combinatorial bundle auction (see
+	// bundles.go and internal/bundle): deals route transactions into
+	// all-or-nothing bundles with one aggregate bid, and the builder
+	// runs winner determination over bundles plus the loose mempool.
+	// Requires a FeeMarket (bids need a fee ledger); without one the
+	// flag is inert and SubmitBundled falls back to plain Submit.
+	Bundles bool
 }
 
 // Chain is a simulated blockchain.
@@ -207,6 +214,19 @@ type Chain struct {
 	nextRcpt  int
 	blockSet  bool // a block production event is scheduled
 	receipts  []*Receipt
+
+	// Bundle-auction state (see bundles.go): the auction queue in
+	// arrival order, each deal's open bundle, per-deal loss streaks,
+	// and the bundle-bid / auction / block observers.
+	bundles      []*pendingBundle
+	openBundles  map[string]*pendingBundle
+	bundleStreak map[string]int
+	bbSubs       map[int]func(BundleGossip)
+	nextBbSub    int
+	aucSubs      map[int]func(*AuctionRecord)
+	nextAucSub   int
+	blkSubs      map[int]func(*BlockSummary)
+	nextBlkSub   int
 
 	// submitMu serializes Submit so transaction ingestion is safe from
 	// multiple goroutines while the scheduler is idle (fleets feed
@@ -244,14 +264,19 @@ func New(cfg Config, sched *sim.Scheduler, rng *sim.RNG) *Chain {
 		cfg.Keys = make(map[string]ed25519.PublicKey)
 	}
 	c := &Chain{
-		cfg:       cfg,
-		sched:     sched,
-		rng:       rng.Fork(),
-		meter:     gas.NewMeter(cfg.Schedule),
-		contracts: make(map[Addr]Contract),
-		subs:      make(map[int]func(Event)),
-		mpSubs:    make(map[int]func(PendingTx)),
-		rcptSubs:  make(map[int]func(*Receipt)),
+		cfg:          cfg,
+		sched:        sched,
+		rng:          rng.Fork(),
+		meter:        gas.NewMeter(cfg.Schedule),
+		contracts:    make(map[Addr]Contract),
+		subs:         make(map[int]func(Event)),
+		mpSubs:       make(map[int]func(PendingTx)),
+		rcptSubs:     make(map[int]func(*Receipt)),
+		openBundles:  make(map[string]*pendingBundle),
+		bundleStreak: make(map[string]int),
+		bbSubs:       make(map[int]func(BundleGossip)),
+		aucSubs:      make(map[int]func(*AuctionRecord)),
+		blkSubs:      make(map[int]func(*BlockSummary)),
 	}
 	if cfg.FeeMarket != nil {
 		c.fees = feemarket.New(*cfg.FeeMarket, cfg.MaxBlockTxs)
@@ -330,26 +355,33 @@ func (c *Chain) Submit(tx *Tx) {
 		c.mempool = append(c.mempool, tx)
 		c.scheduleBlock()
 	})
-	if len(c.mpSubs) > 0 {
-		ptx := PendingTx{
-			Chain:    c.cfg.ID,
-			Sender:   tx.Sender,
-			Contract: tx.Contract,
-			Method:   tx.Method,
-			Label:    tx.Label,
-			Args:     tx.Args,
-			Tip:      tx.Tip,
-		}
-		for id := 0; id < c.nextMpSub; id++ {
-			fn, ok := c.mpSubs[id]
-			if !ok {
-				continue
-			}
-			nd := c.cfg.Delays.NotifyDelay(c.sched.Now(), c.rng)
-			c.sched.After(nd, func() { fn(ptx) })
-		}
-	}
+	c.gossipTx(tx)
 	c.submitMu.Unlock()
+}
+
+// gossipTx fans a published transaction out to mempool observers, each
+// after its own notification delay.
+func (c *Chain) gossipTx(tx *Tx) {
+	if len(c.mpSubs) == 0 {
+		return
+	}
+	ptx := PendingTx{
+		Chain:    c.cfg.ID,
+		Sender:   tx.Sender,
+		Contract: tx.Contract,
+		Method:   tx.Method,
+		Label:    tx.Label,
+		Args:     tx.Args,
+		Tip:      tx.Tip,
+	}
+	for id := 0; id < c.nextMpSub; id++ {
+		fn, ok := c.mpSubs[id]
+		if !ok {
+			continue
+		}
+		nd := c.cfg.Delays.NotifyDelay(c.sched.Now(), c.rng)
+		c.sched.After(nd, func() { fn(ptx) })
+	}
 }
 
 // SubscribeMempool registers a mempool observer: fn receives every
@@ -385,7 +417,19 @@ func (c *Chain) SubmitAfter(d sim.Duration, tx *Tx) {
 // scheduleBlock arranges block production at the next block boundary if
 // not already scheduled, deferring past any outage window.
 func (c *Chain) scheduleBlock() {
-	if c.blockSet || len(c.mempool) == 0 {
+	if c.blockSet {
+		return
+	}
+	pending := len(c.mempool) > 0
+	if !pending && c.Bundled() {
+		for _, b := range c.bundles {
+			if len(b.txs) > 0 {
+				pending = true
+				break
+			}
+		}
+	}
+	if !pending {
 		return
 	}
 	c.blockSet = true
@@ -408,6 +452,10 @@ func (c *Chain) scheduleBlock() {
 // Overflow transactions stay queued for the next block.
 func (c *Chain) produceBlock() {
 	c.blockSet = false
+	if c.Bundled() {
+		c.produceAuctionBlock()
+		return
+	}
 	txs := c.mempool
 	c.mempool = nil
 	if c.fees != nil {
@@ -434,35 +482,26 @@ func (c *Chain) produceBlock() {
 	var digest []byte
 	var blockEvents []Event
 	for _, tx := range txs {
-		rcpt := c.execute(tx, now)
-		rcpt.ArrivedAt = tx.arrivedAt
-		if c.fees != nil {
-			// Included transactions pay whether or not they succeed:
-			// they occupied block space either way.
-			c.fees.Charge(tx.Label, tx.Tip)
-			rcpt.BaseFee = baseFee
-			rcpt.TipPaid = tx.Tip
-		}
-		c.receipts = append(c.receipts, rcpt.Receipt)
+		rcpt := c.includeTx(tx, now, baseFee, tx.Tip)
 		digest = append(digest, []byte(tx.Contract+"/"+Addr(tx.Method))...)
 		if rcpt.pending != nil {
 			blockEvents = append(blockEvents, rcpt.pending...)
-		}
-		for id := 0; id < c.nextRcpt; id++ {
-			if fn, ok := c.rcptSubs[id]; ok {
-				fn(rcpt.Receipt)
-			}
-		}
-		if tx.OnReceipt != nil {
-			r := rcpt.Receipt
-			d := c.cfg.Delays.NotifyDelay(now, c.rng)
-			c.sched.After(d, func() { tx.OnReceipt(r) })
 		}
 	}
 	if c.fees != nil {
 		c.fees.Seal(len(txs))
 	}
 	c.lastHash = sig.Hash(c.lastHash[:], digest)
+	if len(c.blkSubs) > 0 {
+		bs := &BlockSummary{Chain: c.cfg.ID, Height: c.height, Time: now}
+		for _, tx := range txs {
+			bs.Included = append(bs.Included, tx.Label)
+		}
+		for _, tx := range c.mempool {
+			bs.Deferred = append(bs.Deferred, tx.Label)
+		}
+		c.emitBlockSummary(bs)
+	}
 	for _, ev := range blockEvents {
 		c.dispatch(ev)
 	}
@@ -474,6 +513,34 @@ func (c *Chain) produceBlock() {
 type execReceipt struct {
 	*Receipt
 	pending []Event
+}
+
+// includeTx runs one included transaction and settles its block-side
+// bookkeeping — fee charge (the transaction pays `tip` whether or not
+// it succeeds: it occupied block space either way), the receipt log,
+// synchronous receipt observers, and the delayed sender notification.
+// Both block builders (FIFO/tip-ordered and the bundle auction) include
+// through here, so inclusion semantics can never drift between them.
+func (c *Chain) includeTx(tx *Tx, now sim.Time, baseFee, tip uint64) *execReceipt {
+	rcpt := c.execute(tx, now)
+	rcpt.ArrivedAt = tx.arrivedAt
+	if c.fees != nil {
+		c.fees.Charge(tx.Label, tip)
+		rcpt.BaseFee = baseFee
+		rcpt.TipPaid = tip
+	}
+	c.receipts = append(c.receipts, rcpt.Receipt)
+	for id := 0; id < c.nextRcpt; id++ {
+		if fn, ok := c.rcptSubs[id]; ok {
+			fn(rcpt.Receipt)
+		}
+	}
+	if tx.OnReceipt != nil {
+		r := rcpt.Receipt
+		d := c.cfg.Delays.NotifyDelay(now, c.rng)
+		c.sched.After(d, func() { tx.OnReceipt(r) })
+	}
+	return rcpt
 }
 
 // execute runs one transaction against its target contract.

@@ -94,6 +94,13 @@ type Options struct {
 	// escrow manager, priced off each chain's realized base-fee
 	// volatility, and wires Behavior.Hedged parties to it.
 	Hedge *hedge.Params
+	// Bundles enables combinatorial block-space auctions (see
+	// internal/bundle): every fee-market chain runs per-block winner
+	// determination over all-or-nothing deal bundles, and every party
+	// routes its protocol transactions through its deal's bundle,
+	// priced by a deadline-escalating BundleBidder. Requires FeeMarket;
+	// ignored without one.
+	Bundles bool
 }
 
 // Outage is a window during which a chain produces no blocks.
@@ -138,6 +145,9 @@ type SubstrateConfig struct {
 	// fungible escrow manager created on the substrate; nil disables
 	// hedging.
 	Hedge *hedge.Params
+	// Bundles enables the combinatorial block-space auction on every
+	// fee-market chain created on the substrate (see chain.Config).
+	Bundles bool
 }
 
 // NewSubstrate creates an empty shared world.
@@ -213,6 +223,7 @@ func Build(spec *deal.Spec, opts Options) (*World, error) {
 		Outages:       opts.Outages,
 		FeeMarket:     opts.FeeMarket,
 		Hedge:         opts.Hedge,
+		Bundles:       opts.Bundles,
 	})
 	return sub.BuildOn(spec, opts)
 }
@@ -281,6 +292,7 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 				OutageUntil:   outage.Until,
 				MaxBlockTxs:   s.cfg.MaxBlockTxs,
 				FeeMarket:     s.cfg.FeeMarket,
+				Bundles:       s.cfg.Bundles,
 			}, sched, s.rng)
 			s.Chains[a.Chain] = c
 		}
@@ -363,6 +375,11 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 			}
 			c := s.Chains[a.Chain]
 			hm := hedge.New(a.Escrow, resolved, volSource(c, resolved.VolWindow))
+			// Bundle-loss streaks feed the premium surcharge: a deal
+			// whose bundle keeps losing the block-space auction is a
+			// timelock at risk. On chains without bundle auctions the
+			// streak is always 0 and the surcharge never binds.
+			hm.SetStreakSource(c.BundleLossStreak)
 			if err := c.Deploy(hedge.AddrFor(a.Escrow), hm); err != nil {
 				return nil, err
 			}
@@ -434,6 +451,14 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 		// mempool past its deadline is worthless.
 		fees = party.DeadlineFee{Start: 1, Max: 16}
 	}
+	var bundleCfg *party.BundleConfig
+	if (opts.Bundles || s.cfg.Bundles) && s.cfg.FeeMarket != nil {
+		// The compliant bundle strategy mirrors the DeadlineFee default
+		// at bundle granularity: the deal's per-slot bid escalates as
+		// the timelock deadline approaches, and re-escalates on every
+		// auction the bundle loses.
+		bundleCfg = &party.BundleConfig{Bidder: party.BundleBidder{Start: 1, Max: 16}}
+	}
 	var hedgeCfg *party.HedgeConfig
 	if hp != nil && len(w.Hedges) > 0 {
 		resolved := hp.WithDefaults()
@@ -461,6 +486,7 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 			Fees:        fees,
 			Adaptive:    opts.Adaptive,
 			Hedge:       hedgeCfg,
+			Bundle:      bundleCfg,
 			OnValidated: func(p chain.Addr, at sim.Time) {
 				w.validatedAt[p] = at
 			},

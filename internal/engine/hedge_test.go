@@ -31,7 +31,7 @@ func TestHedgedDealPaysOutOnSoreLoserishAbort(t *testing.T) {
 			spec.Parties[2]: {SkipVoting: true}, // the saboteur holds no cover
 		},
 		Adaptive: &party.AdaptiveHooks{
-			OnHedgeBound: func(p chain.Addr, collateral, premium uint64, vol float64) {
+			OnHedgeBound: func(p chain.Addr, collateral, premium uint64, vol float64, streak int) {
 				if !victims[p] {
 					t.Fatalf("unhedged party %s bound cover", p)
 				}

@@ -26,6 +26,18 @@ type ArenaOptions struct {
 	// Baselines re-runs each deal alone to measure contention-induced
 	// decision-latency inflation (one extra isolated run per deal).
 	Baselines bool
+	// Bundles turns every arena's ordering game deal-granular: the
+	// shared chains run per-block combinatorial auctions over
+	// all-or-nothing deal bundles (see internal/bundle), the
+	// front-runner slot of the adversary mix griefs whole bundles
+	// instead of fee-bidding single transactions, and the report gains
+	// a BundleAuctions block (win/defer rates, exclusion attempts and
+	// successes, deadline slack by bid decile). Requires the sweep's
+	// fee market (GenOptions.Fees).
+	Bundles bool
+	// BundleBudget caps each bundle griefer's total per-slot bid
+	// increments (default 400).
+	BundleBudget uint64
 	// Hedge arms the sore-loser defense across the sweep: compliant
 	// mix slots insure their deposits at premium-priced hedging
 	// contracts (see internal/hedge), and the report gains a Hedging
@@ -64,6 +76,9 @@ func (o *ArenaOptions) defaults() error {
 	}
 	if o.Chains == 0 {
 		o.Chains = 4
+	}
+	if o.BundleBudget == 0 {
+		o.BundleBudget = 400
 	}
 	if o.HedgeCollateral == 0 {
 		o.HedgeCollateral = 1.0
@@ -115,6 +130,8 @@ func (g *Generator) arenaPopOptions(a, count int, ao ArenaOptions) arena.PopOpti
 		po.FeeMarket = true
 		po.TipBudget = f.TipBudget
 	}
+	po.Bundles = ao.Bundles
+	po.BundleBudget = ao.BundleBudget
 	po.Hedged = ao.Hedge
 	return po
 }
@@ -131,6 +148,8 @@ func arenaRunOptions(gen GenOptions, ao ArenaOptions, arenaIdx int) (arena.Optio
 		Volatility:       ao.Volatility,
 		MaxBlockTxs:      ao.MaxBlockTxs,
 		Baselines:        ao.Baselines,
+		Bundles:          ao.Bundles,
+		BundleBudget:     ao.BundleBudget,
 		Hedge:            ao.Hedge,
 		HedgeCollateral:  ao.HedgeCollateral,
 		PremiumVolWindow: ao.PremiumVolWindow,
@@ -200,6 +219,9 @@ func sweepArenas(opts Options) (*Report, error) {
 	if ao.Hedge {
 		agg.EnableHedging(ao.HedgeCollateral, ao.PremiumVolWindow)
 	}
+	if ao.Bundles {
+		agg.EnableBundles(ao.BundleBudget)
+	}
 	inter := &Interference{Arenas: nArenas, Chains: ao.Chains}
 	var inflation Sketch
 	for a, res := range results {
@@ -212,7 +234,9 @@ func sweepArenas(opts Options) (*Report, error) {
 		inter.SoreLoserLoss += res.Interference.SoreLoserLoss
 		inter.FrontRunAttempts += res.Interference.FrontRunAttempts
 		inter.FrontRunWins += res.Interference.FrontRunWins
+		inter.VictimExclusionBlocks += res.Interference.VictimExclusionBlocks
 		agg.AddFeeWorld(res.Fees)
+		agg.AddBundleArena(res.Interference)
 		agg.AddFeeRaces(res.Interference.FrontRunAttempts, res.Interference.FrontRunWins,
 			res.Interference.FeeBidAttempts, res.Interference.FeeBidWins)
 		agg.AddHedgeArena(res.Interference)

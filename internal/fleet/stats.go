@@ -230,6 +230,11 @@ type Report struct {
 	// sweep ran hedged arenas (ArenaOptions.Hedge).
 	Hedging *Hedging `json:"hedging,omitempty"`
 
+	// BundleAuctions carries the combinatorial block-space auction
+	// metrics; nil unless the sweep ran bundled arenas
+	// (ArenaOptions.Bundles).
+	BundleAuctions *BundleAuctions `json:"bundle_auctions,omitempty"`
+
 	// ReplayCommand, when set by the caller, is a printf format with one
 	// %d verb for a deal index; Fprint uses it to print a ready-to-paste
 	// replay command next to each flagged violation. Not serialized.
@@ -254,6 +259,13 @@ type Interference struct {
 	// Mempool races run and won by front-running parties.
 	FrontRunAttempts int `json:"front_run_attempts"`
 	FrontRunWins     int `json:"front_run_wins"`
+	// VictimExclusionBlocks counts blocks — across all arenas with a
+	// fee market, bundled or not — in which an adversarial deal's work
+	// was included while a rival deal's arrived work was deferred past
+	// capacity. It is the uniform exclusion currency that makes
+	// single-tx fee bidding and bundle griefing comparable seed for
+	// seed.
+	VictimExclusionBlocks int `json:"victim_exclusion_blocks,omitempty"`
 }
 
 // OrderingGames summarizes a fee-market sweep: what block space cost,
@@ -311,6 +323,154 @@ type Hedging struct {
 	// base-fee volatility they were priced at — congested chains should
 	// sit in the upper deciles at visibly higher rates.
 	PremiumByVolDecile []VolDecile `json:"premium_by_vol_decile"`
+}
+
+// BundleAuctions summarizes a bundled sweep: how deals fared bidding
+// for whole blocks, what bundle griefing attempted and landed, and how
+// much timelock headroom winning bundles had left by bid level.
+type BundleAuctions struct {
+	// Budget echoes the sweep's per-griefer bid-increment cap.
+	Budget uint64 `json:"bundle_budget"`
+	// Auctions counts combinatorial auctions run (per chain per
+	// block); Wins and Defers count bundle participations won and
+	// deferred across them.
+	Auctions int `json:"auctions"`
+	Wins     int `json:"wins"`
+	Defers   int `json:"defers"`
+	// ExclusionAttempts counts bundle-griefing raises; Exclusion-
+	// Successes counts auctions in which a targeted victim's bundle
+	// was deferred while the griefer's won. A raise is a standing bid
+	// — one attempt can land exclusions in many consecutive blocks, so
+	// successes may exceed attempts.
+	ExclusionAttempts  int `json:"exclusion_attempts"`
+	ExclusionSuccesses int `json:"exclusion_successes"`
+	// VictimExclusionBlocks mirrors Interference.VictimExclusionBlocks
+	// for the bundled sweep (the tx-level twin reports the same metric
+	// in its Interference block, which is what the two get compared on).
+	VictimExclusionBlocks int `json:"victim_exclusion_blocks"`
+	// SlackByBidDecile distributes winning bundles' deadline slack at
+	// inclusion (in Δ of the owning deal) across deciles of wins
+	// ranked by per-slot bid, ascending — desperate (high) bids should
+	// sit in the upper deciles at visibly thinner slack.
+	SlackByBidDecile []BidDecile `json:"deadline_slack_by_bid_decile"`
+}
+
+// WinRate is wins / (wins + defers) (0 with no participations).
+func (b *BundleAuctions) WinRate() float64 {
+	return winRate(b.Wins, b.Wins+b.Defers)
+}
+
+// DeferRate is defers / (wins + defers) — the CI-gated starvation
+// signal: a population whose bundles mostly lose is a population whose
+// timelocks are at risk.
+func (b *BundleAuctions) DeferRate() float64 {
+	return winRate(b.Defers, b.Wins+b.Defers)
+}
+
+// BidDecile is one per-slot-bid decile's deadline-slack summary.
+type BidDecile struct {
+	Decile     int    `json:"decile"`       // 1..10, by ascending per-slot bid
+	MaxPerSlot uint64 `json:"max_per_slot"` // largest per-slot bid in the decile
+	Wins       int    `json:"wins"`
+	// MeanSlackDelta is the decile's mean deadline slack at inclusion,
+	// in Δ units of the owning deals (negative: included past the
+	// timelock horizon).
+	MeanSlackDelta float64 `json:"mean_slack_delta"`
+}
+
+// bundleAgg folds bundle observations in constant memory: counters
+// plus a per-slot-bid-keyed slack histogram (per-slot bids are small
+// integers bounded by the bidder escalation and griefer budgets, so
+// the key space stays tiny).
+type bundleAgg struct {
+	budget                uint64
+	auctions              int
+	wins, defers          int
+	attempts, successes   int
+	victimExclusionBlocks int
+	byBid                 map[uint64]*bidSlackAgg
+}
+
+type bidSlackAgg struct {
+	wins          int
+	slackMilliSum int64
+}
+
+// EnableBundles arms the bundle-auctions block: the report will carry
+// it even for an empty population, echoing the sweep's configuration.
+func (a *Aggregator) EnableBundles(budget uint64) {
+	if a.bundles == nil {
+		a.bundles = &bundleAgg{byBid: make(map[uint64]*bidSlackAgg)}
+	}
+	a.bundles.budget = budget
+}
+
+// AddBundleArena folds one arena's bundle metrics (arena order, so the
+// report stays byte-identical for any worker count).
+func (a *Aggregator) AddBundleArena(inter arena.Interference) {
+	if a.bundles == nil {
+		return
+	}
+	b := a.bundles
+	b.auctions += inter.BundleAuctions
+	b.wins += inter.BundleWins
+	b.defers += inter.BundleDefers
+	b.attempts += inter.ExclusionAttempts
+	b.successes += inter.ExclusionSuccesses
+	b.victimExclusionBlocks += inter.VictimExclusionBlocks
+	for _, s := range inter.BundleSamples {
+		agg := b.byBid[s.PerSlot]
+		if agg == nil {
+			agg = &bidSlackAgg{}
+			b.byBid[s.PerSlot] = agg
+		}
+		agg.wins++
+		agg.slackMilliSum += s.SlackMilli
+	}
+}
+
+// bundleAuctions finalizes the block.
+func (b *bundleAgg) bundleAuctions() *BundleAuctions {
+	return &BundleAuctions{
+		Budget:                b.budget,
+		Auctions:              b.auctions,
+		Wins:                  b.wins,
+		Defers:                b.defers,
+		ExclusionAttempts:     b.attempts,
+		ExclusionSuccesses:    b.successes,
+		VictimExclusionBlocks: b.victimExclusionBlocks,
+		SlackByBidDecile:      b.bidDeciles(),
+	}
+}
+
+// bidDeciles splits the per-slot-bid-keyed slack histogram into
+// deciles of wins ranked by bid (foldDeciles carries the shared
+// whole-bucket assignment, so this table can never diverge from the
+// tip-delay and hedge-premium ones).
+func (b *bundleAgg) bidDeciles() []BidDecile {
+	bids := make([]uint64, 0, len(b.byBid))
+	total := 0
+	for bid, agg := range b.byBid {
+		bids = append(bids, bid)
+		total += agg.wins
+	}
+	if total == 0 {
+		return nil
+	}
+	sort.Slice(bids, func(i, j int) bool { return bids[i] < bids[j] })
+	var out []BidDecile
+	var slackSum int64
+	foldDeciles(bids, total,
+		func(bid uint64) int { return b.byBid[bid].wins },
+		func(bid uint64) { slackSum += b.byBid[bid].slackMilliSum },
+		func(decile int, maxBid uint64, wins int) {
+			out = append(out, BidDecile{
+				Decile: decile, MaxPerSlot: maxBid, Wins: wins,
+				MeanSlackDelta: float64(slackSum) / 1000 / float64(wins),
+			})
+			slackSum = 0
+		})
+	return out
 }
 
 // Absorbed is the fraction of the gross sore-loser loss the payouts
@@ -612,8 +772,9 @@ const maxViolations = 1000
 type Aggregator struct {
 	rep        *Report
 	gas, dtime Sketch
-	fees       *feeAgg   // nil unless EnableFees armed the ordering block
-	hedge      *hedgeAgg // nil unless EnableHedging armed the hedging block
+	fees       *feeAgg    // nil unless EnableFees armed the ordering block
+	hedge      *hedgeAgg  // nil unless EnableHedging armed the hedging block
+	bundles    *bundleAgg // nil unless EnableBundles armed the bundle block
 }
 
 // NewAggregator returns an empty aggregator.
@@ -680,6 +841,9 @@ func (a *Aggregator) Report() *Report {
 	}
 	if a.hedge != nil {
 		a.rep.Hedging = a.hedge.hedging()
+	}
+	if a.bundles != nil {
+		a.rep.BundleAuctions = a.bundles.bundleAuctions()
 	}
 	return a.rep
 }
@@ -768,6 +932,10 @@ func (rep *Report) Fprint(w io.Writer) {
 			inf.SoreLoserTriggers, inf.SoreLoserDeals, inf.SoreLoserLoss)
 		fmt.Fprintf(w, "  front-running: %d mempool races, %d won\n",
 			inf.FrontRunAttempts, inf.FrontRunWins)
+		if inf.VictimExclusionBlocks > 0 {
+			fmt.Fprintf(w, "  exclusion: %d blocks included adversarial work while deferring a victim deal's\n",
+				inf.VictimExclusionBlocks)
+		}
 	}
 
 	if og := rep.OrderingGames; og != nil {
@@ -785,6 +953,23 @@ func (rep *Report) Fprint(w io.Writer) {
 				fmt.Fprintf(dtw, "    d%d\t%d\t%d\t%.1f\n", td.Decile, td.MaxTip, td.Count, td.MeanDelay)
 			}
 			dtw.Flush()
+		}
+	}
+
+	if b := rep.BundleAuctions; b != nil {
+		fmt.Fprintf(w, "\nbundle auctions (combinatorial block space, griefer budget %d):\n", b.Budget)
+		fmt.Fprintf(w, "  auctions: %d run; bundles %d won, %d deferred (%.1f%% win, %.1f%% defer)\n",
+			b.Auctions, b.Wins, b.Defers, 100*b.WinRate(), 100*b.DeferRate())
+		fmt.Fprintf(w, "  griefing: %d exclusion bids, %d landed; %d victim-exclusion blocks\n",
+			b.ExclusionAttempts, b.ExclusionSuccesses, b.VictimExclusionBlocks)
+		if len(b.SlackByBidDecile) > 0 {
+			fmt.Fprintf(w, "  deadline slack by per-slot-bid decile:\n")
+			btw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(btw, "    decile\tmax bid/slot\twins\tmean slack (Δ)")
+			for _, bd := range b.SlackByBidDecile {
+				fmt.Fprintf(btw, "    d%d\t%d\t%d\t%.2f\n", bd.Decile, bd.MaxPerSlot, bd.Wins, bd.MeanSlackDelta)
+			}
+			btw.Flush()
 		}
 	}
 

@@ -91,6 +91,16 @@ type Params struct {
 	// RefundFeeBps is the pool's retention on refunded premiums, in
 	// basis points (default 1000 = 10%).
 	RefundFeeBps uint64
+	// StreakRateBps scales the bundle-loss surcharge, in basis points
+	// of collateral per consecutive auction the insured deal's bundle
+	// has lost on the hosting chain at bind time (default 100 = 1%
+	// per loss, each step at least 1 so the surcharge is strictly
+	// increasing in the streak). A bundle that keeps losing the
+	// block-space auction is a timelock at risk: its deposit is headed
+	// for exactly the stranding the cover pays out on, so realized
+	// exclusion prices the insurance up. Zero streaks (and worlds
+	// without bundle auctions) pay no surcharge.
+	StreakRateBps uint64
 }
 
 // WithDefaults resolves zero fields. Non-positive values resolve to
@@ -115,6 +125,9 @@ func (p Params) WithDefaults() Params {
 	}
 	if p.RefundFeeBps == 0 {
 		p.RefundFeeBps = 1000
+	}
+	if p.StreakRateBps == 0 {
+		p.StreakRateBps = 100
 	}
 	return p
 }
@@ -143,6 +156,23 @@ func Premium(collateral uint64, vol float64, depth int, p Params) uint64 {
 	return premium
 }
 
+// BundleSurcharge prices the bundle-loss streak surcharge: streak ×
+// max(1, collateral × StreakRateBps / 10000). The per-step floor of 1
+// makes the surcharge strictly increasing in the streak for every
+// collateral size — a deal whose bundle lost one more auction always
+// pays strictly more for cover. Pure, like Premium.
+func BundleSurcharge(collateral uint64, streak int, p Params) uint64 {
+	if streak <= 0 || collateral == 0 {
+		return 0
+	}
+	p = p.WithDefaults()
+	step := collateral * p.StreakRateBps / 10000
+	if step < 1 {
+		step = 1
+	}
+	return uint64(streak) * step
+}
+
 // AddrFor derives the hedging contract's address from the escrow
 // contract it insures deposits at.
 func AddrFor(escrowAddr chain.Addr) chain.Addr { return escrowAddr + "~hedge" }
@@ -165,10 +195,15 @@ type BindArgs struct {
 }
 
 // BindResult is MethodBind's return value: the premium charged and the
-// realized volatility it was priced at.
+// congestion signals it was priced at.
 type BindResult struct {
 	Premium uint64
 	Vol     float64
+	// Streak is the insured deal's realized bundle-loss streak on the
+	// hosting chain at bind; Surcharge is the extra premium it cost
+	// (zero in worlds without bundle auctions).
+	Streak    int
+	Surcharge uint64
 }
 
 // ClaimArgs is the argument to MethodClaim; the sender settles its own
@@ -235,6 +270,7 @@ type Manager struct {
 
 	params    Params
 	vol       func() float64
+	streak    func(deal string) int
 	positions map[string]*Position // deal/insured -> position
 	totals    Totals
 }
@@ -253,6 +289,13 @@ func New(escrowAddr chain.Addr, params Params, vol func() float64) *Manager {
 
 // Params returns the resolved configuration.
 func (m *Manager) Params() Params { return m.params }
+
+// SetStreakSource wires the hosting chain's realized bundle-loss
+// streak into premium pricing (see chain.BundleLossStreak): a bind for
+// a deal whose bundle has lost the last n block-space auctions pays
+// BundleSurcharge(collateral, n) on top of the volatility-priced
+// premium. Nil (the default) prices every bind at streak 0.
+func (m *Manager) SetStreakSource(fn func(deal string) int) { m.streak = fn }
 
 // Totals returns the pool ledger.
 func (m *Manager) Totals() Totals { return m.totals }
@@ -309,8 +352,13 @@ func (m *Manager) handleBind(env *chain.Env, a BindArgs) (any, error) {
 	if m.vol != nil {
 		vol = m.vol()
 	}
+	var streak int
+	if m.streak != nil {
+		streak = m.streak(a.Deal)
+	}
 	env.Arith(2) // premium pricing
-	premium := Premium(a.Collateral, vol, a.Depth, m.params)
+	surcharge := BundleSurcharge(a.Collateral, streak, m.params)
+	premium := Premium(a.Collateral, vol, a.Depth, m.params) + surcharge
 	minLock := a.MinLock
 	if minLock < 0 {
 		minLock = 0
@@ -329,7 +377,7 @@ func (m *Manager) handleBind(env *chain.Env, a BindArgs) (any, error) {
 	env.Emit(EventBound, BoundEvent{
 		Deal: a.Deal, Insured: env.Sender(), Collateral: a.Collateral, Premium: premium,
 	})
-	return BindResult{Premium: premium, Vol: vol}, nil
+	return BindResult{Premium: premium, Vol: vol, Streak: streak, Surcharge: surcharge}, nil
 }
 
 // handleClaim settles a position against the paired escrow manager's

@@ -305,3 +305,69 @@ func TestCongestionRaisesQuotedPremium(t *testing.T) {
 		t.Fatalf("volatile chain quoted %d, calm chain %d — congestion must make insurance expensive", hot, calm)
 	}
 }
+
+// TestBundleSurchargeStrictlyIncreasing: the bundle-loss surcharge is
+// strictly increasing in the realized streak for every collateral size
+// — a deal whose bundle lost one more auction always pays strictly
+// more for cover — and zero at streak 0 (and in worlds without bundle
+// auctions).
+func TestBundleSurchargeStrictlyIncreasing(t *testing.T) {
+	p := Params{}.WithDefaults()
+	for _, collateral := range []uint64{1, 7, 1000, 123456} {
+		prev := BundleSurcharge(collateral, 0, p)
+		if prev != 0 {
+			t.Fatalf("collateral %d: streak-0 surcharge = %d, want 0", collateral, prev)
+		}
+		for streak := 1; streak <= 12; streak++ {
+			got := BundleSurcharge(collateral, streak, p)
+			if got <= prev {
+				t.Fatalf("collateral %d: surcharge(%d) = %d not strictly above surcharge(%d) = %d",
+					collateral, streak, got, streak-1, prev)
+			}
+			prev = got
+		}
+	}
+	// The default rate: 1% of collateral per consecutive loss.
+	if got := BundleSurcharge(1000, 3, p); got != 30 {
+		t.Fatalf("surcharge(1000, 3) = %d, want 30", got)
+	}
+	if BundleSurcharge(0, 5, p) != 0 {
+		t.Fatal("zero collateral must carry no surcharge")
+	}
+}
+
+// TestBindPricesLossStreak: a bind executed while the insured deal's
+// bundle-loss streak is n pays Premium + BundleSurcharge(collateral, n)
+// exactly, and the result reports the streak and surcharge it priced.
+func TestBindPricesLossStreak(t *testing.T) {
+	params := Params{}.WithDefaults()
+	streak := 0
+	w := newHedgeWorld(t, params, nil)
+	w.hedge.SetStreakSource(func(deal string) int { return streak })
+
+	quotes := make([]uint64, 4)
+	for n := range quotes {
+		streak = n
+		r := w.call(t, "alice", AddrFor("esc"), MethodBind, BindArgs{
+			Deal: "deal-" + string(rune('a'+n)), Collateral: 1000, Depth: 4, MinLock: 10,
+		})
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		br := r.Result.(BindResult)
+		want := Premium(1000, 0, 4, params) + BundleSurcharge(1000, n, params)
+		if br.Premium != want {
+			t.Fatalf("streak %d priced %d, want %d", n, br.Premium, want)
+		}
+		if br.Streak != n || br.Surcharge != BundleSurcharge(1000, n, params) {
+			t.Fatalf("bind result %+v does not report streak %d and its surcharge", br, n)
+		}
+		quotes[n] = br.Premium
+	}
+	for n := 1; n < len(quotes); n++ {
+		if quotes[n] <= quotes[n-1] {
+			t.Fatalf("premium at streak %d (%d) not strictly above streak %d (%d)",
+				n, quotes[n], n-1, quotes[n-1])
+		}
+	}
+}

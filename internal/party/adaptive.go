@@ -42,10 +42,17 @@ type AdaptiveHooks struct {
 	// bidders); won is whether p's transaction executed successfully
 	// (it beat the victim to the state change).
 	OnFrontRun func(p chain.Addr, method string, bid uint64, won bool)
+	// OnBundleGrief reports a bundle-griefing raise: party p bumped its
+	// deal's per-slot bid to perSlot on chain ch to exclude victimDeal's
+	// bundle from the block (see bundles.go). Whether the exclusion
+	// lands is decided by the auction; arenas match these attempts
+	// against auction records to count successes.
+	OnBundleGrief func(p chain.Addr, ch chain.ID, victimDeal string, perSlot uint64)
 	// OnHedgeBound reports a hedged party's confirmed cover: party p
 	// paid premium for a collateral bond, priced at the hosting chain's
-	// realized base-fee volatility vol (see internal/hedge).
-	OnHedgeBound func(p chain.Addr, collateral, premium uint64, vol float64)
+	// realized base-fee volatility vol and the deal's realized
+	// bundle-loss streak at bind (see internal/hedge).
+	OnHedgeBound func(p chain.Addr, collateral, premium uint64, vol float64, streak int)
 	// OnHedgeSettled reports a settled hedge position: a sore-loser
 	// payout of amount when payout is true, a premium refund (net of
 	// the pool's retention) otherwise.
@@ -66,6 +73,9 @@ func (p *Party) startAdaptive() {
 	}
 	if b.FrontRun {
 		p.armFrontRunner()
+	}
+	if b.BundleGrief {
+		p.armBundleGriefer()
 	}
 }
 

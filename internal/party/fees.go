@@ -57,12 +57,20 @@ func (f DeadlineFee) Tip(_ uint64, _ string, urgency float64) uint64 {
 	return f.Start + uint64(float64(f.Max-f.Start)*urgency+0.5)
 }
 
-// urgency is the party's deadline pressure: how far it is through the
-// window from deal start to the overall timelock deadline t0 + (N+1)·Δ
-// (the same horizon the refund poke uses). Pure in (clock, spec).
-func (p *Party) urgency() float64 {
+// timelockHorizon is the deal's overall timelock deadline t0 + (N+1)·Δ
+// (the same horizon the refund poke uses) — the moment past which the
+// escrows refund regardless, so protocol work included later is
+// worthless. Both the fee/bid escalation (urgency) and the bundle
+// deadline reported to auctions measure against this one horizon.
+func (p *Party) timelockHorizon() sim.Time {
 	spec := p.cfg.Spec
-	deadline := spec.T0 + sim.Time(len(spec.Parties)+1)*spec.Delta
+	return spec.T0 + sim.Time(len(spec.Parties)+1)*spec.Delta
+}
+
+// urgency is the party's deadline pressure: how far it is through the
+// window from deal start to the timelock horizon. Pure in (clock, spec).
+func (p *Party) urgency() float64 {
+	deadline := p.timelockHorizon()
 	if deadline <= p.startedAt {
 		return 1
 	}

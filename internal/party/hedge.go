@@ -89,7 +89,7 @@ func (p *Party) bindHedge(key string, haddr chain.Addr, ob deal.Obligation, info
 		}
 		p.hedgeBound[key] = true
 		if br, ok := r.Result.(hedge.BindResult); ok && hooks != nil && hooks.OnHedgeBound != nil {
-			hooks.OnHedgeBound(p.Addr, collateral, br.Premium, br.Vol)
+			hooks.OnHedgeBound(p.Addr, collateral, br.Premium, br.Vol, br.Streak)
 		}
 		if p.active() {
 			// The cover exists: release the deposit it was gating.

@@ -112,6 +112,21 @@ type Behavior struct {
 	// counterparty's deposit — maximizing how long others' assets stay
 	// locked while keeping its own refund poke.
 	Grief bool
+	// BundleGrief makes the party a bundle-griefing adversary (needs a
+	// bundled world to matter, see bundles.go): it watches rival deal
+	// bundles in the bundle-bid gossip and raises its own deal's
+	// per-slot bid one above a victim's, so a capacity-constrained
+	// block defers the victim's whole bundle. Griefing at bundle
+	// granularity is what makes exclusion expensive to resist: the
+	// victim must outbid the attack across its entire bundle, not one
+	// transaction. Like front-running, the griefer keeps every
+	// protocol duty, so it stays compliant; the arena still counts it
+	// as an adversary.
+	BundleGrief bool
+	// BundleBudget caps the bundle griefer's total per-slot bid
+	// increments (the same denomination as the fee bidder's tip
+	// budget); 0 means unlimited.
+	BundleBudget uint64
 
 	// Hedged arms the sore-loser defense (Xue & Herlihy): the party
 	// refuses to lock an unhedged fungible deposit — it first binds
@@ -169,6 +184,11 @@ type Config struct {
 	// contracts (see hedge.go); nil leaves the Hedged flag inert. The
 	// engine fills it when the world is built with hedging enabled.
 	Hedge *HedgeConfig
+	// Bundle wires the party to the world's combinatorial block-space
+	// auctions (see bundles.go): protocol transactions on bundled
+	// chains route into the deal's all-or-nothing bundle, priced by
+	// the Bidder. Nil keeps every submission on the loose mempool.
+	Bundle *BundleConfig
 	// OnValidated, when non-nil, is invoked when the party finishes its
 	// validation phase (engine timing metrics).
 	OnValidated func(p chain.Addr, at sim.Time)
@@ -213,6 +233,11 @@ type Party struct {
 	// Fee strategy state (see fees.go).
 	startedAt sim.Time // deal start, anchors deadline urgency
 	feeSpent  uint64   // tips committed by the fee bidder so far
+
+	// Bundle griefer state (see bundles.go): the standing per-slot
+	// quote per chain and the budget spent raising it.
+	griefQuote map[chain.ID]uint64
+	griefSpent uint64
 
 	unsubs []func()
 }
@@ -403,7 +428,7 @@ func (p *Party) submit(a deal.AssetRef, method, label string, args any, onReceip
 // submitTx publishes with an explicit tip (the fee bidder's race path
 // overrides the estimator with its counterbid).
 func (p *Party) submitTx(c *chain.Chain, contract chain.Addr, method, label string, args any, tip uint64, onReceipt func(*chain.Receipt)) {
-	c.Submit(&chain.Tx{
+	tx := &chain.Tx{
 		Sender:   p.Addr,
 		Contract: contract,
 		Method:   method,
@@ -415,7 +440,15 @@ func (p *Party) submitTx(c *chain.Chain, contract chain.Addr, method, label stri
 				onReceipt(r)
 			}
 		},
-	})
+	}
+	if p.bundling(c) {
+		// Bundled worlds replace per-transaction tips with the deal
+		// bundle's aggregate bid (see bundles.go): the transaction
+		// joins the bundle and the bid is quoted per slot.
+		p.submitViaBundle(c, tx)
+		return
+	}
+	c.Submit(tx)
 }
 
 // performEscrows places the party's outgoing assets in escrow.

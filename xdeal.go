@@ -161,6 +161,11 @@ type (
 	// premiums paid and refunded, payouts claimed, gross vs residual
 	// sore-loser loss, and premium cost by base-fee-volatility decile.
 	Hedging = fleet.Hedging
+	// BundleAuctions is the combinatorial block-space auction block of
+	// a bundled sweep report (ArenaOptions.Bundles): bundle win/defer
+	// rates, bundle-griefing exclusion attempts and successes, and
+	// deadline slack by per-slot-bid decile.
+	BundleAuctions = fleet.BundleAuctions
 )
 
 // Sweep synthesizes a randomized population of deals from the master
