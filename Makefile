@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet bench-snapshot
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race gate CI runs: every package, slow sweeps trimmed by -short.
+race:
+	$(GO) test -race -short ./...
+
+# Build xdealvet and run the whole module through it via go vet.
+vet:
+	@mkdir -p bin
+	$(GO) build -o bin/xdealvet ./cmd/xdealvet
+	$(GO) vet -vettool=$(CURDIR)/bin/xdealvet ./...
+
+# Refresh the committed throughput snapshot. Wall-clock fields vary by
+# machine; the latency/gas percentiles are seed-deterministic.
+bench-snapshot:
+	$(GO) run ./cmd/dealsweep -deals 512 -workers 0 -seed 7 -bench-json > BENCH_pr6.json
+	@cat BENCH_pr6.json

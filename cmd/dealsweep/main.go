@@ -78,10 +78,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"xdeal/internal/engine"
 	"xdeal/internal/fleet"
@@ -106,6 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dosRate := fs.Float64("dos-rate", 0.15, "probability a run includes a DoS outage window [0, 1] (isolated mode)")
 	maxParties := fs.Int("max-parties", 6, "largest generated deal size")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of tables")
+	benchJSON := fs.Bool("bench-json", false, "emit a throughput snapshot (deals/sec, p99 decision latency) as JSON instead of the report")
 	replayIndex := fs.Int("replay", -1, "re-run this deal index from the sweep in full detail")
 
 	feeMarket := fs.Bool("feemarket", false, "enable per-chain fee markets: tip-ordered blocks, EIP-1559 base fee, fee-bidding front-runners")
@@ -145,6 +149,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *deals < 0 {
 		return fail("-deals must be non-negative")
+	}
+	if *jsonOut && *benchJSON {
+		return fail("-json and -bench-json are mutually exclusive")
 	}
 	// Reject degenerate knobs outright instead of silently substituting
 	// defaults: a sweep gated in CI must mean what its flags say.
@@ -228,14 +235,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return replay(stdout, stderr, gen, *replayIndex)
 	}
 
+	start := time.Now()
 	rep, err := fleet.Sweep(opts)
+	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(stderr, "dealsweep: %v\n", err)
 		return 2
 	}
 	rep.ReplayCommand = replayCommand(opts)
 
-	if *jsonOut {
+	if *benchJSON {
+		if err := writeBenchSnapshot(stdout, rep, opts, elapsed); err != nil {
+			fmt.Fprintf(stderr, "dealsweep: %v\n", err)
+			return 1
+		}
+	} else if *jsonOut {
 		if err := rep.WriteJSON(stdout); err != nil {
 			fmt.Fprintf(stderr, "dealsweep: %v\n", err)
 			return 1
@@ -279,6 +293,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// benchSnapshot is the machine-readable throughput record -bench-json
+// emits: population shape, wall-clock throughput, and the
+// deterministic latency/gas percentiles of the same report the normal
+// modes render. Throughput fields depend on the machine and worker
+// count; every other field depends only on (seed, deals, generator
+// flags).
+type benchSnapshot struct {
+	Deals            int     `json:"deals"`
+	Workers          int     `json:"workers"`
+	Seed             uint64  `json:"seed"`
+	Arena            bool    `json:"arena"`
+	ElapsedSec       float64 `json:"elapsed_sec"`
+	DealsPerSec      float64 `json:"deals_per_sec"`
+	P50DecisionDelta float64 `json:"p50_decision_latency_delta"`
+	P99DecisionDelta float64 `json:"p99_decision_latency_delta"`
+	P99Gas           float64 `json:"p99_gas"`
+	Violations       int     `json:"violations"`
+}
+
+func writeBenchSnapshot(w io.Writer, rep *fleet.Report, opts fleet.Options, elapsed time.Duration) error {
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	snap := benchSnapshot{
+		Deals:            opts.Deals,
+		Workers:          workers,
+		Seed:             opts.Gen.Seed,
+		Arena:            opts.Arena != nil,
+		ElapsedSec:       elapsed.Seconds(),
+		DealsPerSec:      float64(opts.Deals) / elapsed.Seconds(),
+		P50DecisionDelta: rep.DeltaTime.P50,
+		P99DecisionDelta: rep.DeltaTime.P99,
+		P99Gas:           rep.Gas.P99,
+		Violations:       len(rep.Violations),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
 }
 
 // replay re-executes one generated scenario in full detail: the deal

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -177,5 +178,41 @@ func TestResidualLossBudgetGate(t *testing.T) {
 	stderr.Reset()
 	if code := run(append(base, "-budget-residual-loss", "1e12"), &stdout, &stderr); code != 0 {
 		t.Fatalf("generous residual budget exited %d, want 0\nstderr: %s", code, stderr.String())
+	}
+}
+
+// TestBenchSnapshotJSON: -bench-json emits the throughput snapshot with
+// positive wall-clock fields and the same deterministic percentiles the
+// report carries, and refuses to combine with -json.
+func TestBenchSnapshotJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-deals", "16", "-seed", "3", "-bench-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(stdout.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if snap.Deals != 16 || snap.Seed != 3 {
+		t.Fatalf("snapshot does not record its flags: %+v", snap)
+	}
+	if snap.Workers <= 0 {
+		t.Fatalf("effective worker count must be positive, got %d", snap.Workers)
+	}
+	if snap.ElapsedSec <= 0 || snap.DealsPerSec <= 0 {
+		t.Fatalf("throughput fields must be positive: %+v", snap)
+	}
+	if snap.P99DecisionDelta <= 0 || snap.P99Gas <= 0 {
+		t.Fatalf("percentile fields must be positive: %+v", snap)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-json", "-bench-json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-json -bench-json = %d, want exit 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Fatalf("stderr %q does not explain the rejection", stderr.String())
 	}
 }

@@ -1,0 +1,287 @@
+// Command xdealvet runs the xdeal determinism/accounting analyzer
+// suite (internal/lint): detrange, noclock, receiptcheck, labelcheck.
+//
+// It supports two modes:
+//
+//	xdealvet [flags] [packages]         standalone: loads packages via
+//	                                    the go command and analyzes them
+//	                                    (default pattern ./...)
+//	go vet -vettool=$(pwd)/xdealvet ./...
+//	                                    vettool: speaks go vet's
+//	                                    unit-checker protocol (-V=full,
+//	                                    -flags, unit.cfg)
+//
+// Analyzer selection: pass -detrange, -noclock, -receiptcheck, or
+// -labelcheck to run a subset; with none given, the whole suite runs.
+// Exit status is 1 when any diagnostic is reported.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xdeal/internal/lint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xdealvet: ")
+
+	suite := lint.Suite()
+	selected := make(map[string]*bool, len(suite))
+	for _, a := range suite {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		selected[a.Name] = flag.Bool(a.Name, false, "run only the "+a.Name+" analyzer: "+doc)
+	}
+	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	jsonOut := flag.Bool("json", false, "emit JSON output")
+	_ = flag.Int("c", -1, "display offending line with this many lines of context (ignored)")
+	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol: -V=full)")
+	flag.Parse()
+
+	if *printFlags {
+		printFlagDefs()
+		return
+	}
+
+	analyzers := suite
+	var picked []*lint.Analyzer
+	for _, a := range suite {
+		if *selected[a.Name] {
+			picked = append(picked, a)
+		}
+	}
+	if len(picked) > 0 {
+		analyzers = picked
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runVetUnit(args[0], analyzers, *jsonOut)
+		return
+	}
+	runStandalone(args, analyzers, *jsonOut)
+}
+
+// ---- standalone mode ----
+
+func runStandalone(patterns []string, analyzers []*lint.Analyzer, jsonOut bool) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, _ := os.Getwd()
+	pkgs, err := lint.LoadPatterns(cwd, patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exit := 0
+	tree := make(jsonTree)
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range diags {
+			exit = 1
+			if jsonOut {
+				tree.add(pkg.Fset, pkg.Path, d)
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", relPosn(pkg.Fset, cwd, d.Pos), d.Message, d.Analyzer)
+			}
+		}
+	}
+	if jsonOut {
+		tree.print(os.Stdout)
+	}
+	os.Exit(exit)
+}
+
+func relPosn(fset *token.FileSet, dir string, pos token.Pos) string {
+	p := fset.Position(pos)
+	if rel, err := filepath.Rel(dir, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		p.Filename = rel
+	}
+	return p.String()
+}
+
+// ---- go vet unit-checker protocol ----
+
+// vetConfig mirrors the JSON config go vet hands a -vettool for each
+// compilation unit (the subset of fields xdealvet consumes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetUnit(cfgFile string, analyzers []*lint.Analyzer, jsonOut bool) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	// xdealvet carries no analysis facts, but go vet requires the
+	// facts file to exist as the action's output.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0666); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return
+	}
+
+	fset := token.NewFileSet()
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		return base.Import(path)
+	})
+	pkg, err := lint.TypeCheck(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return // the compiler will report the error
+		}
+		log.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeVetx()
+	if jsonOut {
+		tree := make(jsonTree)
+		for _, d := range diags {
+			tree.add(fset, cfg.ID, d)
+		}
+		tree.print(os.Stdout)
+		return
+	}
+	exit := 0
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+// ---- protocol plumbing ----
+
+// importerFunc adapts a function to go/types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// printFlagDefs answers `xdealvet -flags` with the JSON description go
+// vet uses to learn which flags it may forward.
+func printFlagDefs() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements the -V=full protocol go vet uses to fingerprint
+// the tool for build caching.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	prog, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel xdealvet buildID=%02x\n", prog, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+// jsonTree matches the vet -json output shape:
+// {pkgID: {analyzer: [{posn, message}, ...]}}.
+type jsonTree map[string]map[string][]jsonDiag
+
+type jsonDiag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+func (t jsonTree) add(fset *token.FileSet, id string, d lint.Diagnostic) {
+	byAnalyzer := t[id]
+	if byAnalyzer == nil {
+		byAnalyzer = make(map[string][]jsonDiag)
+		t[id] = byAnalyzer
+	}
+	byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+		Posn:    fset.Position(d.Pos).String(),
+		Message: d.Message,
+	})
+}
+
+func (t jsonTree) print(w io.Writer) {
+	data, err := json.MarshalIndent(t, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(w, "%s\n", data)
+}

@@ -51,19 +51,28 @@ func runScenario(title string, behaviors map[xdeal.Addr]xdeal.Behavior) {
 
 	// Fund the deposits and lock them before the deal begins. Each stage
 	// is drained before the next so approvals precede the transferFrom.
+	mustLand := func(r *chain.Receipt) {
+		if r.Err != nil {
+			log.Fatalf("deposit scenario: transaction %s.%s rejected: %v",
+				r.Tx.Contract, r.Tx.Method, r.Err)
+		}
+	}
 	for _, p := range spec.Parties {
 		coinChain.Submit(&chain.Tx{Sender: "mint-authority", Contract: "coin",
-			Method: token.MethodMint, Label: "setup",
-			Args: token.MintArgs{To: p, Amount: depositAmount}})
+			Method: token.MethodMint, Label: engine.LabelSetup,
+			Args:      token.MintArgs{To: p, Amount: depositAmount},
+			OnReceipt: mustLand})
 		coinChain.Submit(&chain.Tx{Sender: p, Contract: "coin",
-			Method: token.MethodApprove, Label: "setup",
-			Args: token.ApproveArgs{Operator: "deposit-vault", Allowed: true}})
+			Method: token.MethodApprove, Label: engine.LabelSetup,
+			Args:      token.ApproveArgs{Operator: "deposit-vault", Allowed: true},
+			OnReceipt: mustLand})
 	}
 	w.Sched.Run()
 	for _, p := range spec.Parties {
 		coinChain.Submit(&chain.Tx{Sender: p, Contract: "deposit-vault",
-			Method: incentive.MethodDeposit, Label: "escrow",
-			Args: incentive.DepositArgs{Amount: depositAmount}})
+			Method: incentive.MethodDeposit, Label: party.LabelEscrow,
+			Args:      incentive.DepositArgs{Amount: depositAmount},
+			OnReceipt: mustLand})
 	}
 	w.Sched.Run()
 	for _, p := range spec.Parties {
@@ -91,8 +100,9 @@ func runScenario(title string, behaviors map[xdeal.Addr]xdeal.Behavior) {
 				return
 			}
 			coinChain.Submit(&chain.Tx{Sender: "alice", Contract: "deposit-vault",
-				Method: incentive.MethodSettle, Label: "commit",
-				Args: incentive.SettleArgs{Proof: proof}})
+				Method: incentive.MethodSettle, Label: party.LabelCommit,
+				Args:      incentive.SettleArgs{Proof: proof},
+				OnReceipt: mustLand})
 		}
 	})
 

@@ -46,6 +46,10 @@ const (
 	EntryAbort
 )
 
+// LabelCBC tags the gas the CBC's own block production charges, so
+// consensus overhead lands in its own accounting row.
+const LabelCBC = "cbc"
+
 // String implements fmt.Stringer.
 func (k EntryKind) String() string {
 	switch k {
@@ -288,7 +292,7 @@ func (c *CBC) produceBlock() {
 		Cert:     bft.MakeCertificate(hash[:], c.committee.Epoch, quorum),
 	}
 	c.blocks = append(c.blocks, b)
-	c.meter.Charge("cbc", gas.OpWrite, uint64(len(accepted)))
+	c.meter.Charge(LabelCBC, gas.OpWrite, uint64(len(accepted)))
 
 	for id := 0; id < c.nextSub; id++ {
 		fn, ok := c.subs[id]

@@ -265,7 +265,7 @@ func TestNaiveTimeoutsViolateSafety(t *testing.T) {
 	// direct copy lands in time, the forwarded copies do not, so one
 	// escrow commits while the others refund.
 	found := false
-	for _, voteDelay := range []sim.Duration{2860, 2880, 2900, 2920} {
+	for _, voteDelay := range []sim.Duration{2860, 2880, 2900, 2920, 2940} {
 		for seed := uint64(0); seed < 20 && !found; seed++ {
 			spec := deal.RingSpec(3, 2000, 1000)
 			w, err := Build(spec, Options{
@@ -291,7 +291,7 @@ func TestNaiveTimeoutsViolateSafety(t *testing.T) {
 
 	// Control: with path-scaled timeouts, the same last-minute voting
 	// stays consistent for every seed and delay.
-	for _, voteDelay := range []sim.Duration{2860, 2880, 2900, 2920} {
+	for _, voteDelay := range []sim.Duration{2860, 2880, 2900, 2920, 2940} {
 		for seed := uint64(0); seed < 20; seed++ {
 			spec := deal.RingSpec(3, 2000, 1000)
 			w, err := Build(spec, Options{

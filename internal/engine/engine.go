@@ -432,6 +432,7 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 	}
 
 	// Engine-side observation: outcome and phase timing events.
+	//xdeal:unordered each chain gains exactly one subscriber here, and chains are independent — subscription order across chains cannot reach any report
 	for _, c := range w.Chains {
 		c.Subscribe(w.observe)
 	}
@@ -513,18 +514,31 @@ func (w *World) fund() {
 			if a.Kind == deal.Fungible {
 				c.Submit(&chain.Tx{Sender: "mint-authority", Contract: a.Token,
 					Method: token.MethodMint, Label: label,
-					Args: token.MintArgs{To: p, Amount: ob.Amount}})
+					Args:      token.MintArgs{To: p, Amount: ob.Amount},
+					OnReceipt: setupReceipt})
 			} else {
 				for _, id := range ob.Tokens {
 					c.Submit(&chain.Tx{Sender: "mint-authority", Contract: a.Token,
 						Method: token.MethodMint, Label: label,
-						Args: token.MintArgs{To: p, Token: id}})
+						Args:      token.MintArgs{To: p, Token: id},
+						OnReceipt: setupReceipt})
 				}
 			}
 			c.Submit(&chain.Tx{Sender: p, Contract: a.Token,
 				Method: token.MethodApprove, Label: label,
-				Args: token.ApproveArgs{Operator: a.Escrow, Allowed: true}})
+				Args:      token.ApproveArgs{Operator: a.Escrow, Allowed: true},
+				OnReceipt: setupReceipt})
 		}
+	}
+}
+
+// setupReceipt guards world construction: a rejected mint or approval
+// means every later balance delta is wrong, so fail loudly (the same
+// contract MustDeploy offers for deployment).
+func setupReceipt(r *chain.Receipt) {
+	if r.Err != nil {
+		panic(fmt.Sprintf("engine: setup transaction %s.%s rejected: %v",
+			r.Tx.Contract, r.Tx.Method, r.Err))
 	}
 }
 

@@ -158,7 +158,7 @@ func (w *World) checkSafety(r *Result) {
 			if !r.Compliant[p] {
 				continue
 			}
-			for key := range w.Fungibles {
+			for _, key := range sortedKeys(w.Fungibles) {
 				want := int64(spec.FungibleIncoming(p, key)) - int64(spec.FungibleOutgoing(p, key))
 				if got := r.FungibleDelta[p][key]; got != want {
 					r.SafetyViolations = append(r.SafetyViolations, fmt.Sprintf(
@@ -172,7 +172,7 @@ func (w *World) checkSafety(r *Result) {
 			if !r.Compliant[p] {
 				continue
 			}
-			for key := range w.Fungibles {
+			for _, key := range sortedKeys(w.Fungibles) {
 				if got := r.FungibleDelta[p][key]; got != 0 {
 					r.SafetyViolations = append(r.SafetyViolations, fmt.Sprintf(
 						"party %s: balance delta %+d at %s after full abort", p, got, key))
@@ -234,6 +234,7 @@ func (w *World) checkLiveness(r *Result) {
 				continue
 			}
 			locked := state.Deposited[p] > 0
+			//xdeal:unordered existence check: the loop only raises locked to true and writes nothing else, so visit order cannot reach the report
 			for _, owner := range state.AbortOwner {
 				if owner == p {
 					locked = true
@@ -271,6 +272,17 @@ func (w *World) fillPhases(r *Result) {
 			r.Phases.DecisionEnd = t
 		}
 	}
+}
+
+// sortedKeys returns m's keys in ascending order, so report loops
+// visit escrow keys deterministically.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Summary renders a human-readable report of the run.
@@ -340,6 +352,7 @@ func (r *Result) PhaseGas(label string) gas.Snapshot {
 // atomicity one.
 func (r *Result) Atomic() bool {
 	anyCommitted, anyAborted := false, false
+	//xdeal:unordered existence fold: the switch only raises the two flags to true, so visit order cannot affect the conjunction
 	for _, st := range r.Outcomes {
 		switch st {
 		case escrow.StatusCommitted:

@@ -45,9 +45,13 @@ func renderedArenaReport(t *testing.T, opts Options) string {
 // results fold in arena order. Run under -race this also exercises the
 // arena fan-out for data races.
 func TestFleetArenaDeterministicAcrossWorkerCounts(t *testing.T) {
-	want := renderedArenaReport(t, arenaOpts(60, 1))
+	deals := 60
+	if testing.Short() {
+		deals = 20 // equality check only: scale the sweep, keep the pool racing
+	}
+	want := renderedArenaReport(t, arenaOpts(deals, 1))
 	for _, workers := range []int{2, 4, 8} {
-		if got := renderedArenaReport(t, arenaOpts(60, workers)); got != want {
+		if got := renderedArenaReport(t, arenaOpts(deals, workers)); got != want {
 			t.Fatalf("arena report at %d workers diverges from serial run:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
 				workers, want, workers, got)
 		}
@@ -101,6 +105,9 @@ func TestFleetArenaInterferenceMetrics(t *testing.T) {
 // bit-for-bit from its population index — same seed, same spec, same
 // outcome — and out-of-range indices are rejected.
 func TestFleetArenaReplayDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay indices are baked for the full 60-deal population")
+	}
 	opts := arenaOpts(60, 4)
 	for _, idx := range []int{0, 19, 20, 42, 59} {
 		a, err := ReplayArenaDeal(opts, idx)
@@ -130,6 +137,9 @@ func TestFleetArenaReplayDeterministic(t *testing.T) {
 // path (materialize all records, Aggregate) — the population is large
 // enough to cross several chunk boundaries.
 func TestFleetSweepStreamsIdenticalToBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a population large enough to cross several chunk boundaries")
+	}
 	opts := sweepOpts(150, 4)
 	streamed, err := Sweep(opts)
 	if err != nil {

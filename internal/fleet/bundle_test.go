@@ -45,9 +45,13 @@ func renderedBundleReport(t *testing.T, opts Options) string {
 // and 16 workers. Run under -race this also exercises the bundled
 // fan-out.
 func TestBundleSweepDeterministicAcrossWorkerCounts(t *testing.T) {
-	want := renderedBundleReport(t, bundledOpts(60, 1, true))
+	deals := 60
+	if testing.Short() {
+		deals = 20 // equality check only: scale the sweep, keep the pool racing
+	}
+	want := renderedBundleReport(t, bundledOpts(deals, 1, true))
 	for _, workers := range []int{4, 16} {
-		if got := renderedBundleReport(t, bundledOpts(60, workers, true)); got != want {
+		if got := renderedBundleReport(t, bundledOpts(deals, workers, true)); got != want {
 			t.Fatalf("bundled report at %d workers diverges from serial run:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
 				workers, want, workers, got)
 		}
@@ -63,6 +67,9 @@ func TestBundleSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 // landed exclusions, slack deciles). The tx-level twin carries no
 // bundle block at all.
 func TestBundleSweepExclusionBeatsFeeBidTwin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical twin comparison needs the full population")
+	}
 	bundled, err := Sweep(bundledOpts(60, 4, true))
 	if err != nil {
 		t.Fatal(err)

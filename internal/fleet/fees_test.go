@@ -52,9 +52,13 @@ func TestFleetFeeMarketDeterministicAcrossWorkerCounts(t *testing.T) {
 	}{{"isolated", false}, {"arena", true}} {
 		mode := mode
 		t.Run(mode.name, func(t *testing.T) {
-			want := renderedFeeReport(t, feeSweepOpts(60, 1, mode.arena))
+			deals := 60
+			if testing.Short() {
+				deals = 20 // equality check only: scale the sweep, keep the pool racing
+			}
+			want := renderedFeeReport(t, feeSweepOpts(deals, 1, mode.arena))
 			for _, workers := range []int{4, 16} {
-				if got := renderedFeeReport(t, feeSweepOpts(60, workers, mode.arena)); got != want {
+				if got := renderedFeeReport(t, feeSweepOpts(deals, workers, mode.arena)); got != want {
 					t.Fatalf("%s fee-market report at %d workers diverges from serial run:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
 						mode.name, workers, want, workers, got)
 				}
@@ -132,6 +136,9 @@ func TestFleetFeeMarketOrderingGamesBlock(t *testing.T) {
 // regenerates inside the identical fee environment, down to its fee
 // attribution.
 func TestFleetFeeMarketArenaReplayDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay indices are baked for the full 60-deal population")
+	}
 	opts := feeSweepOpts(60, 4, true)
 	for _, idx := range []int{0, 19, 20, 42, 59} {
 		a, err := ReplayArenaDeal(opts, idx)
@@ -158,6 +165,9 @@ func TestFleetFeeMarketArenaReplayDeterministic(t *testing.T) {
 // bidders whose aggregate win rate strictly exceeds the plain gossip
 // racers' under FIFO.
 func TestFleetFeeBidWinRateExceedsPlainRacer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical win-rate comparison needs the full population")
+	}
 	fifo := feeSweepOpts(100, 4, true)
 	fifo.Gen.Fees = nil
 	plainRep, err := Sweep(fifo)

@@ -149,7 +149,7 @@ func TestViolationCountingFlagsSeeds(t *testing.T) {
 	// one party votes at the last minute (cf. TestNaiveTimeoutsViolateSafety).
 	var jobs []Job
 	idx := 0
-	for _, voteDelay := range []sim.Duration{2860, 2880, 2900, 2920} {
+	for _, voteDelay := range []sim.Duration{2860, 2880, 2900, 2920, 2940} {
 		for seed := uint64(0); seed < 20; seed++ {
 			spec := deal.RingSpec(3, 2000, 1000)
 			jobs = append(jobs, Job{

@@ -51,16 +51,26 @@ func buildHTLCWorld(spec *deal.Spec, seed uint64) *htlcWorld {
 		c.MustDeploy(a.Token, f)
 		c.MustDeploy(addr, htlc.New(a.Token, a.Kind))
 	}
+	// A rejected funding transaction would skew the whole gas
+	// comparison; fail loudly, matching MustDeploy above.
+	mustLand := func(r *chain.Receipt) {
+		if r.Err != nil {
+			panic(fmt.Sprintf("htlc world setup transaction %s.%s rejected: %v",
+				r.Tx.Contract, r.Tx.Method, r.Err))
+		}
+	}
 	for _, p := range spec.Parties {
 		for _, ob := range spec.EscrowObligations(p) {
 			key := ob.Asset.Key()
 			c := w.chains[ob.Asset.Chain]
 			c.Submit(&chain.Tx{Sender: "bank", Contract: ob.Asset.Token,
-				Method: token.MethodMint, Label: "setup",
-				Args: token.MintArgs{To: p, Amount: ob.Amount}})
+				Method: token.MethodMint, Label: engine.LabelSetup,
+				Args:      token.MintArgs{To: p, Amount: ob.Amount},
+				OnReceipt: mustLand})
 			c.Submit(&chain.Tx{Sender: p, Contract: ob.Asset.Token,
-				Method: token.MethodApprove, Label: "setup",
-				Args: token.ApproveArgs{Operator: w.managers[key], Allowed: true}})
+				Method: token.MethodApprove, Label: engine.LabelSetup,
+				Args:      token.ApproveArgs{Operator: w.managers[key], Allowed: true},
+				OnReceipt: mustLand})
 		}
 	}
 	sched.Run()
@@ -104,7 +114,7 @@ func RunSwapComparison(n int, seed uint64) (SwapComparisonRow, error) {
 		merged.Merge(c.Meter())
 	}
 	row.HTLCSigVerifs = merged.Count(gas.OpSigVerify)
-	row.HTLCGas = merged.UsedByLabel("escrow") + merged.UsedByLabel("commit") + merged.UsedByLabel("abort")
+	row.HTLCGas = merged.UsedByLabel(party.LabelEscrow) + merged.UsedByLabel(party.LabelCommit) + merged.UsedByLabel(party.LabelAbort)
 
 	// Expressiveness: HTLC must reject the broker deal.
 	row.BrokerRejected = htlc.Supports(deal.BrokerSpec(1, 1)) != nil

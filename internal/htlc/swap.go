@@ -5,6 +5,7 @@ import (
 
 	"xdeal/internal/chain"
 	"xdeal/internal/deal"
+	"xdeal/internal/party"
 	"xdeal/internal/sig"
 	"xdeal/internal/sim"
 )
@@ -109,6 +110,10 @@ type Swap struct {
 	// Outcome observability.
 	Claims  int
 	Refunds int
+	// Rejects counts transactions the chain executed with an error —
+	// e.g. a claim that raced a refund past its deadline. Benign for
+	// the protocol, but evidence a gas comparison must not lose.
+	Rejects int
 }
 
 // NewSwap validates shape and prepares the runner.
@@ -170,7 +175,7 @@ func (s *Swap) Start() {
 			if s.crashed[t.From] || s.settled[i] || !s.locked[i] {
 				return
 			}
-			s.submit(t, MethodRefund, "abort", RefundArgs{ID: s.lockID(i)})
+			s.submit(t, MethodRefund, party.LabelAbort, RefundArgs{ID: s.lockID(i)})
 		})
 	}
 }
@@ -216,7 +221,7 @@ func (s *Swap) deployLock(i int) {
 	} else {
 		args.TokenID = t.Asset.ID
 	}
-	s.submit(t, MethodLock, "escrow", args)
+	s.submit(t, MethodLock, party.LabelEscrow, args)
 }
 
 // submit sends a transaction from the transfer's owner to the HTLC
@@ -236,6 +241,11 @@ func (s *Swap) submit(t deal.Transfer, method, label string, args any) {
 		Method:   method,
 		Label:    label,
 		Args:     args,
+		OnReceipt: func(r *chain.Receipt) {
+			if r.Err != nil {
+				s.Rejects++
+			}
+		},
 	})
 }
 
@@ -303,7 +313,7 @@ func (s *Swap) tryClaim(i int, preimage []byte) {
 		pre = []byte("garbage")
 	}
 	submit := func() {
-		s.submit(t, MethodClaim, "commit", ClaimArgs{ID: s.lockID(i), Preimage: pre})
+		s.submit(t, MethodClaim, party.LabelCommit, ClaimArgs{ID: s.lockID(i), Preimage: pre})
 	}
 	if b.DelayClaim > 0 {
 		s.cfg.Sched.After(b.DelayClaim, submit)

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoClock forbids ambient sources of nondeterminism inside the
+// simulator packages (everything under internal/ except internal/sim
+// itself, which wraps the sanctioned sources, and this lint package):
+//
+//   - wall-clock reads (time.Now, Since, Until, Sleep, timers): the
+//     scheduler's virtual clock is the only clock a deterministic
+//     replay can honor;
+//   - the global math/rand source (rand.Int, rand.Seed, ...): only
+//     internal/sim.RNG, seeded explicitly per world, may produce
+//     randomness. Constructing an explicitly-seeded generator
+//     (rand.New, rand.NewSource) is allowed — that is what sim.RNG
+//     does;
+//   - environment reads (os.Getenv & friends): configuration must
+//     arrive through flags or structs recorded in the report, or a
+//     replay of a flagged seed cannot reproduce the run;
+//   - json-encoding a bare map: the simulator's reports are hashed
+//     and diffed byte-for-byte, so every serialized structure must
+//     have an explicit, ordered shape (a struct or a sorted slice),
+//     not a shape that depends on encoding/json's map handling.
+var NoClock = &Analyzer{
+	Name: "noclock",
+	Doc: "forbid wall clocks, global randomness, env reads, and map marshaling in sim packages\n\n" +
+		"internal/sim.RNG and the scheduler's virtual clock are the only\n" +
+		"sanctioned sources of time and randomness; reports must serialize\n" +
+		"explicitly ordered shapes.",
+	Run: runNoClock,
+}
+
+// noClockExempt lists internal packages allowed to touch the ambient
+// sources: sim wraps them, and lint (this package) shells out to the
+// go command.
+func noClockExempt(path string) bool {
+	return strings.HasSuffix(path, "internal/sim") ||
+		strings.Contains(path, "internal/lint") ||
+		strings.Contains(path, "internal/sim/")
+}
+
+// bannedTimeFuncs are the time package entry points that read or wait
+// on the wall clock.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRandFuncs are math/rand entry points that do NOT touch the
+// global source: constructors for explicitly seeded generators.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+var bannedOSFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+func runNoClock(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !pathHasInternal(path) || noClockExempt(path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeObject(pass.TypesInfo, call).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			checkNoClockCall(pass, call, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkNoClockCall(pass *Pass, call *ast.CallExpr, fn *types.Func) {
+	sig := fn.Type().(*types.Signature)
+	switch fn.Pkg().Path() {
+	case "time":
+		if sig.Recv() == nil && bannedTimeFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock; simulator time must come from the scheduler's virtual clock (sim.Scheduler.Now)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if sig.Recv() == nil && !allowedRandFuncs[fn.Name()] {
+			what := "the global " + fn.Pkg().Path() + " source"
+			if fn.Name() == "Seed" {
+				what = "the global math/rand seed"
+			}
+			pass.Reportf(call.Pos(), "%s.%s uses %s; simulator randomness must come from an explicitly seeded internal/sim.RNG", lastSegment(fn.Pkg().Path()), fn.Name(), what)
+		}
+	case "os":
+		if sig.Recv() == nil && bannedOSFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "os.%s reads ambient environment; simulator configuration must arrive through recorded flags or structs so flagged seeds replay exactly", fn.Name())
+		}
+	case "encoding/json":
+		checkJSONMapArg(pass, call, fn, sig)
+	}
+}
+
+// checkJSONMapArg flags json.Marshal/MarshalIndent/Encoder.Encode when
+// the value being encoded is statically a map.
+func checkJSONMapArg(pass *Pass, call *ast.CallExpr, fn *types.Func, sig *types.Signature) {
+	name := fn.Name()
+	isMarshal := sig.Recv() == nil && (name == "Marshal" || name == "MarshalIndent")
+	isEncode := sig.Recv() != nil && name == "Encode"
+	if (!isMarshal && !isEncode) || len(call.Args) == 0 {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(call.Args[0])
+	if t == nil || !isMapType(t) {
+		return
+	}
+	pass.Reportf(call.Pos(), "json-encoding map type %s: reports are diffed byte-for-byte, so serialize an explicitly ordered struct or sorted slice instead", t.String())
+}

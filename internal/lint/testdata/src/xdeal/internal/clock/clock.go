@@ -1,0 +1,31 @@
+// Noclock fixtures: ambient time, randomness, environment, and
+// map-shaped JSON inside a policed sim package.
+package clock
+
+import (
+	"encoding/json"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+type payload struct{ A int }
+
+func bad() {
+	time.Now()              // want `reads the wall clock`
+	time.Sleep(time.Second) // want `reads the wall clock`
+	rand.Int()              // want `explicitly seeded internal/sim.RNG`
+	randv2.Int()            // want `explicitly seeded internal/sim.RNG`
+	os.Getenv("X")          // want `reads ambient environment`
+
+	json.Marshal(map[string]int{}) // want `json-encoding map type`
+	enc := json.NewEncoder(os.Stdout)
+	enc.Encode(map[string]int{"a": 1}) // want `json-encoding map type`
+}
+
+func good() ([]byte, error) {
+	r := rand.New(rand.NewSource(7))   // ok: explicitly seeded constructor
+	_ = r.Int()                        // ok: method on a seeded generator
+	return json.Marshal(payload{A: 1}) // ok: explicitly ordered shape
+}

@@ -1,0 +1,119 @@
+// Detrange fixtures: package basename "engine" is report-feeding, so
+// every map range here is policed.
+package engine
+
+import "sort"
+
+type world struct {
+	balances map[string]int
+	owners   map[string]string
+}
+
+func collectThenSort(w *world) []string {
+	keys := make([]string, 0, len(w.balances))
+	for k := range w.balances { // ok: collect-then-sort
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectNoSort(w *world) []string {
+	keys := []string{}
+	for k := range w.balances { // want `collected from map .* but never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func integerFold(w *world) int {
+	total := 0
+	for _, v := range w.balances { // ok: commutative integer fold
+		total += v
+	}
+	return total
+}
+
+func orderLeak(w *world) string {
+	last := ""
+	for k := range w.balances { // want `order-dependent iteration`
+		last = k
+	}
+	return last
+}
+
+func keyedInsert(w *world, dst map[string]int) {
+	for k, v := range w.balances { // ok: keyed insert on the range key
+		dst[k] = v * 2
+	}
+}
+
+func iterationLocal(w *world, dst map[string]map[string]bool) {
+	for k := range w.balances { // ok: iteration-local container, keyed publish
+		set := make(map[string]bool)
+		set[w.owners[k]] = true
+		dst[k] = set
+	}
+}
+
+func extremum(w *world) int {
+	best := 0
+	for _, v := range w.balances { // ok: extremum fold
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func anyNegative(w *world) bool {
+	for _, v := range w.balances { // ok: existence check, constant returns only
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func firstNegative(w *world) string {
+	for k, v := range w.balances { // want `order-dependent iteration`
+		if v < 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+func justified(w *world) string {
+	acc := ""
+	//xdeal:unordered fixture: acc feeds a set-membership check, where order provably cannot matter
+	for k := range w.balances {
+		acc += k
+	}
+	return acc
+}
+
+func emptyReason(w *world) string {
+	acc := ""
+	//xdeal:unordered // want `needs a justification`
+	for k := range w.balances {
+		acc += k
+	}
+	return acc
+}
+
+func notLoadBearing(w *world) int {
+	total := 0
+	//xdeal:unordered integer folds commute // want `not load-bearing`
+	for _, v := range w.balances {
+		total += v
+	}
+	return total
+}
+
+func unattached(w *world) {
+	//xdeal:unordered this is not a map iteration // want `not attached to a map iteration`
+	for i := 0; i < len(w.balances); i++ {
+		_ = i
+	}
+}

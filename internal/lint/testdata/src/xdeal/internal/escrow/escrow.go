@@ -1,0 +1,19 @@
+// Package escrow is a fixture stub for the receiptcheck must-consume
+// set.
+package escrow
+
+type Book struct{}
+
+func (b *Book) Register(id string) error         { return nil }
+func (b *Book) EscrowFungible(id string) error   { return nil }
+func (b *Book) EscrowTokens(id string) error     { return nil }
+func (b *Book) TransferFungible(id string) error { return nil }
+func (b *Book) TransferTokens(id string) error   { return nil }
+func (b *Book) FinalizeCommit(id string) error   { return nil }
+func (b *Book) FinalizeAbort(id string) error    { return nil }
+
+type Manager struct{}
+
+func (m *Manager) Invoke(method string, args any) (any, error) { return nil, nil }
+func (m *Manager) HandleEscrow(args any) error                 { return nil }
+func (m *Manager) HandleTransfer(args any) error               { return nil }

@@ -1,0 +1,17 @@
+// Package gas is a fixture stub for the labelcheck attribution sites.
+package gas
+
+type Op int
+
+const (
+	OpWrite Op = iota
+	OpRead
+)
+
+type Meter struct{}
+
+func (m *Meter) Charge(label string, op Op, n uint64) {}
+
+func (m *Meter) UsedByLabel(label string) uint64 { return 0 }
+
+func (m *Meter) CountByLabel(label string, op Op) uint64 { return 0 }

@@ -1,0 +1,7 @@
+// Package hedge is a fixture stub for the receiptcheck must-consume
+// set.
+package hedge
+
+type Manager struct{}
+
+func (m *Manager) Invoke(method string, args any) (any, error) { return nil, nil }

@@ -1,0 +1,30 @@
+// Labelcheck fixtures: attribution sites outside the party package.
+package labels
+
+import (
+	"xdeal/internal/chain"
+	"xdeal/internal/gas"
+)
+
+// LabelSettle is a declared attribution label.
+const LabelSettle = "settle"
+
+// other is a constant, but not part of the Label* set.
+const other = "oops"
+
+func observe(r *chain.Receipt) {}
+
+func charge(m *gas.Meter, c *chain.Chain, prefix string) {
+	m.Charge(LabelSettle, gas.OpWrite, 1)        // ok: declared constant
+	m.Charge(prefix+LabelSettle, gas.OpWrite, 1) // ok: prefix composition
+	m.Charge("settle", gas.OpWrite, 1)           // want `composed from the declared Label\* constant set`
+	m.Charge(other, gas.OpWrite, 1)              // want `composed from the declared Label\* constant set`
+	_ = m.UsedByLabel("settle")                  // want `composed from the declared Label\* constant set`
+	_ = m.CountByLabel(LabelSettle, gas.OpRead)  // ok
+
+	dyn := prefix + "x"
+	m.Charge(dyn, gas.OpWrite, 1) // ok: dynamic value, composed upstream
+
+	c.Submit(&chain.Tx{Label: LabelSettle, OnReceipt: observe}) // ok
+	c.Submit(&chain.Tx{Label: "settle", OnReceipt: observe})    // want `composed from the declared Label\* constant set`
+}

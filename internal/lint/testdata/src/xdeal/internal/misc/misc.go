@@ -1,0 +1,12 @@
+// Package misc is outside detrange's target set: suppressions here are
+// dead weight and must be reported as such.
+package misc
+
+//xdeal:unordered stray justification // want `detrange does not police package`
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // not policed: misc is not a report-feeding package
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+// Package sim is the sanctioned wrapper around ambient sources: the
+// noclock exemption fixture. No diagnostics may fire here.
+package sim
+
+import "time"
+
+type RNG struct{ seed uint64 }
+
+func NewRNG(seed uint64) *RNG { return &RNG{seed: seed} }
+
+// wallStart may read the wall clock: sim is the wrapper the rest of
+// the tree must go through.
+func wallStart() time.Time { return time.Now() }

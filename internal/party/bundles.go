@@ -72,7 +72,14 @@ func (p *Party) submitViaBundle(c *chain.Chain, tx *chain.Tx) {
 			if won || !p.active() {
 				return
 			}
-			c.BumpBundleBid(p.cfg.Spec.ID, p.cfg.Bundle.Bidder.PerSlot(p.urgency()))
+			if !c.BumpBundleBid(p.cfg.Spec.ID, p.cfg.Bundle.Bidder.PerSlot(p.urgency())) {
+				// The re-quote could not raise the standing bid: either
+				// the bundle is no longer pending or the bidder is
+				// already at its deadline-pressure price. Record it —
+				// a deal that keeps losing auctions with a flat bid is
+				// exactly the sore-loser pressure hedging prices.
+				p.BumpMisses++
+			}
 		},
 	})
 }

@@ -199,6 +199,12 @@ type Party struct {
 	Addr chain.Addr
 	cfg  Config
 
+	// BumpMisses counts lost bundle auctions where re-quoting could
+	// not raise the standing bid (bundle gone, or already at the
+	// bidder's price for the current deadline pressure) — the
+	// escalation path ran dry (observability).
+	BumpMisses int
+
 	crashed   bool
 	validated bool
 	voted     bool

@@ -24,6 +24,7 @@ import (
 	"xdeal/internal/chain"
 	"xdeal/internal/deal"
 	"xdeal/internal/escrow"
+	"xdeal/internal/party"
 	"xdeal/internal/sig"
 	"xdeal/internal/sim"
 	"xdeal/internal/timelock"
@@ -52,6 +53,10 @@ type Tower struct {
 	Forwards int
 	// Pokes counts refund transactions the tower submitted.
 	Pokes int
+	// Rejects counts tower transactions the chain executed with an
+	// error (e.g. a forward that raced the client's own vote, or a
+	// refund poke that lost to a concurrent finalize).
+	Rejects int
 }
 
 // New creates a tower; call Start to begin watching.
@@ -131,11 +136,12 @@ func (t *Tower) onEvent(ev chain.Event) {
 			Sender:   t.cfg.Client, // acting in the client's name
 			Contract: a.Escrow,
 			Method:   timelock.MethodCommit,
-			Label:    "commit",
+			Label:    party.LabelCommit,
 			Args: timelock.CommitArgs{
 				Deal: t.cfg.Spec.ID,
 				Vote: data.Vote.Forward(string(t.cfg.Client), t.cfg.ClientKeys),
 			},
+			OnReceipt: t.observeReceipt,
 		})
 	}
 }
@@ -156,12 +162,22 @@ func (t *Tower) pokeRefunds() {
 		}
 		t.Pokes++
 		c.Submit(&chain.Tx{
-			Sender:   t.cfg.Client,
-			Contract: ob.Asset.Escrow,
-			Method:   timelock.MethodRefund,
-			Label:    "abort",
-			Args:     timelock.RefundArgs{Deal: t.cfg.Spec.ID},
+			Sender:    t.cfg.Client,
+			Contract:  ob.Asset.Escrow,
+			Method:    timelock.MethodRefund,
+			Label:     party.LabelAbort,
+			Args:      timelock.RefundArgs{Deal: t.cfg.Spec.ID},
+			OnReceipt: t.observeReceipt,
 		})
+	}
+}
+
+// observeReceipt records rejected tower transactions. A rejected
+// forward or poke is benign (someone else acted first) but must stay
+// visible: a tower that is always rejected is a tower arriving late.
+func (t *Tower) observeReceipt(r *chain.Receipt) {
+	if r.Err != nil {
+		t.Rejects++
 	}
 }
 
