@@ -18,8 +18,11 @@ vet:
 	$(GO) build -o bin/xdealvet ./cmd/xdealvet
 	$(GO) vet -vettool=$(CURDIR)/bin/xdealvet ./...
 
-# Refresh the committed throughput snapshot. Wall-clock fields vary by
-# machine; the latency/gas percentiles are seed-deterministic.
+# Refresh the committed throughput snapshot for the given PR number
+# (make bench-snapshot PR=8 writes BENCH_pr8.json). Wall-clock, stage,
+# and allocation fields vary by machine; the latency/gas percentiles
+# are seed-deterministic.
+PR ?= 7
 bench-snapshot:
-	$(GO) run ./cmd/dealsweep -deals 512 -workers 0 -seed 7 -bench-json > BENCH_pr6.json
-	@cat BENCH_pr6.json
+	$(GO) run ./cmd/dealsweep -deals 512 -workers 0 -seed 7 -bench-json > BENCH_pr$(PR).json
+	@cat BENCH_pr$(PR).json

@@ -84,10 +84,10 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"time"
 
 	"xdeal/internal/engine"
 	"xdeal/internal/fleet"
+	"xdeal/internal/obs"
 )
 
 func main() {
@@ -128,6 +128,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	hedgeMode := fs.Bool("hedge", false, "arm the sore-loser defense: premium-priced deposit insurance for compliant parties (arena mode)")
 	hedgeCollateral := fs.Float64("hedge-collateral", 1.0, "collateral bond as a multiple of the insured deposit (hedge mode)")
 	premiumVolWindow := fs.Int("premium-vol-window", 32, "base-fee volatility window, in blocks, premiums are priced over (hedge mode)")
+
+	metricsJSON := fs.String("metrics-json", "", "write the sweep's metrics-registry snapshot (blocks sealed, mempool high-water, queue delays, fee/hedge ledgers) to this file as JSON")
+	metricsCSV := fs.String("metrics-csv", "", "write the metrics-registry snapshot to this file as CSV")
+	flightRecord := fs.String("flight-record", "", "write a JSONL flight-record evidence file to this path when the sweep fails (property violation, run error, or budget breach)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at sweep end")
+	mutexProfile := fs.String("mutexprofile", "", "write a mutex-contention profile to this file at sweep end")
 
 	budgetP99Delta := fs.Float64("budget-p99-delta", 0, "fail (exit 1) when p99 decision latency exceeds this many Δ (0 = off)")
 	budgetP99Gas := fs.Float64("budget-p99-gas", 0, "fail (exit 1) when p99 per-deal gas exceeds this (0 = off)")
@@ -235,9 +242,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return replay(stdout, stderr, gen, *replayIndex)
 	}
 
-	start := time.Now()
+	// The observability layer. Stage timing is always on (nil-safe,
+	// near-zero, feeds only the bench snapshot); the registry and flight
+	// recorder exist only when their flags ask for output. None of it
+	// can reach the report: obs instruments are passive by contract.
+	ob := &fleet.ObsOptions{Stages: obs.NewStageTimer()}
+	if *metricsJSON != "" || *metricsCSV != "" {
+		ob.Metrics = obs.NewRegistry()
+	}
+	if *flightRecord != "" {
+		ob.Flight = obs.NewRecorder(0)
+		ob.Flight.Record(-1, "dealsweep", "config",
+			fmt.Sprintf("seed=%d deals=%d workers=%d arena=%t replay=%q",
+				*seed, *deals, *workers, *arenaMode, replayCommand(opts)))
+	}
+	opts.Obs = ob
+
+	prof := obs.Profiles{CPU: *cpuProfile, Mem: *memProfile, Mutex: *mutexProfile}
+	var stopProf func() error
+	if prof.Enabled() {
+		var err error
+		stopProf, err = prof.Start()
+		if err != nil {
+			return fail("%v", err)
+		}
+	}
+
+	start := obs.Now()
 	rep, err := fleet.Sweep(opts)
-	elapsed := time.Since(start)
+	elapsedSec := obs.Since(start)
+	if stopProf != nil {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintf(stderr, "dealsweep: profile: %v\n", perr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "dealsweep: %v\n", err)
 		return 2
@@ -245,7 +283,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rep.ReplayCommand = replayCommand(opts)
 
 	if *benchJSON {
-		if err := writeBenchSnapshot(stdout, rep, opts, elapsed); err != nil {
+		if err := writeBenchSnapshot(stdout, rep, opts, elapsedSec, ob.Stages); err != nil {
 			fmt.Fprintf(stderr, "dealsweep: %v\n", err)
 			return 1
 		}
@@ -258,78 +296,121 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.Fprint(stdout)
 	}
 
+	if ob.Metrics != nil {
+		snap := ob.Metrics.Snapshot()
+		if err := writeSnapshot(*metricsJSON, snap.WriteJSON); err != nil {
+			fmt.Fprintf(stderr, "dealsweep: %v\n", err)
+			return 1
+		}
+		if err := writeSnapshot(*metricsCSV, snap.WriteCSV); err != nil {
+			fmt.Fprintf(stderr, "dealsweep: %v\n", err)
+			return 1
+		}
+	}
+
 	failed := !rep.Clean()
-	if *budgetP99Delta > 0 && rep.DeltaTime.P99 > *budgetP99Delta {
-		fmt.Fprintf(stderr, "dealsweep: BUDGET BREACH: p99 decision latency %.2fΔ exceeds budget %.2fΔ\n",
-			rep.DeltaTime.P99, *budgetP99Delta)
+	breach := func(format string, a ...any) {
+		msg := fmt.Sprintf(format, a...)
+		fmt.Fprintf(stderr, "dealsweep: BUDGET BREACH: %s\n", msg)
+		ob.Flight.Record(-1, "dealsweep", "budget-breach", msg)
 		failed = true
 	}
+	if *budgetP99Delta > 0 && rep.DeltaTime.P99 > *budgetP99Delta {
+		breach("p99 decision latency %.2fΔ exceeds budget %.2fΔ",
+			rep.DeltaTime.P99, *budgetP99Delta)
+	}
 	if *budgetP99Gas > 0 && rep.Gas.P99 > *budgetP99Gas {
-		fmt.Fprintf(stderr, "dealsweep: BUDGET BREACH: p99 gas %.0f exceeds budget %.0f\n",
-			rep.Gas.P99, *budgetP99Gas)
-		failed = true
+		breach("p99 gas %.0f exceeds budget %.0f", rep.Gas.P99, *budgetP99Gas)
 	}
 	if *budgetFeePerCommit > 0 && rep.OrderingGames != nil &&
 		rep.OrderingGames.FeePerCommit > *budgetFeePerCommit {
-		fmt.Fprintf(stderr, "dealsweep: BUDGET BREACH: fee per committed deal %.1f exceeds budget %.1f\n",
+		breach("fee per committed deal %.1f exceeds budget %.1f",
 			rep.OrderingGames.FeePerCommit, *budgetFeePerCommit)
-		failed = true
 	}
 	if *budgetBundleDefer > 0 && rep.BundleAuctions != nil &&
 		rep.BundleAuctions.DeferRate() > *budgetBundleDefer {
-		fmt.Fprintf(stderr, "dealsweep: BUDGET BREACH: bundle defer rate %.3f exceeds budget %.3f (%d won / %d deferred)\n",
+		breach("bundle defer rate %.3f exceeds budget %.3f (%d won / %d deferred)",
 			rep.BundleAuctions.DeferRate(), *budgetBundleDefer,
 			rep.BundleAuctions.Wins, rep.BundleAuctions.Defers)
-		failed = true
 	}
 	if *budgetResidualLoss > 0 && rep.Hedging != nil &&
 		float64(rep.Hedging.ResidualSoreLoserLoss) > *budgetResidualLoss {
-		fmt.Fprintf(stderr, "dealsweep: BUDGET BREACH: residual sore-loser loss %d exceeds budget %g (gross %d, payouts %d)\n",
+		breach("residual sore-loser loss %d exceeds budget %g (gross %d, payouts %d)",
 			rep.Hedging.ResidualSoreLoserLoss, *budgetResidualLoss,
 			rep.Hedging.GrossSoreLoserLoss, rep.Hedging.PayoutsClaimed)
-		failed = true
 	}
 	if failed {
+		if ob.Flight != nil {
+			if err := writeSnapshot(*flightRecord, ob.Flight.WriteJSONL); err != nil {
+				fmt.Fprintf(stderr, "dealsweep: %v\n", err)
+			} else {
+				fmt.Fprintf(stderr, "dealsweep: flight record (%d events, %d evicted) written to %s\n",
+					ob.Flight.Len(), ob.Flight.Dropped(), *flightRecord)
+			}
+		}
 		return 1
 	}
 	return 0
 }
 
-// benchSnapshot is the machine-readable throughput record -bench-json
-// emits: population shape, wall-clock throughput, and the
-// deterministic latency/gas percentiles of the same report the normal
-// modes render. Throughput fields depend on the machine and worker
-// count; every other field depends only on (seed, deals, generator
-// flags).
-type benchSnapshot struct {
-	Deals            int     `json:"deals"`
-	Workers          int     `json:"workers"`
-	Seed             uint64  `json:"seed"`
-	Arena            bool    `json:"arena"`
-	ElapsedSec       float64 `json:"elapsed_sec"`
-	DealsPerSec      float64 `json:"deals_per_sec"`
-	P50DecisionDelta float64 `json:"p50_decision_latency_delta"`
-	P99DecisionDelta float64 `json:"p99_decision_latency_delta"`
-	P99Gas           float64 `json:"p99_gas"`
-	Violations       int     `json:"violations"`
+// writeSnapshot streams one observability artifact to path ("" skips).
+func writeSnapshot(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
-func writeBenchSnapshot(w io.Writer, rep *fleet.Report, opts fleet.Options, elapsed time.Duration) error {
+// benchSnapshot is the machine-readable throughput record -bench-json
+// emits: population shape, wall-clock throughput, the deterministic
+// latency/gas percentiles of the same report the normal modes render,
+// and (schema v2) the wall-clock stage breakdown plus allocation
+// counters. Throughput, stage, and memory fields depend on the machine
+// and worker count; every other field depends only on (seed, deals,
+// generator flags).
+type benchSnapshot struct {
+	Schema           int                `json:"schema"`
+	Deals            int                `json:"deals"`
+	Workers          int                `json:"workers"`
+	Seed             uint64             `json:"seed"`
+	Arena            bool               `json:"arena"`
+	ElapsedSec       float64            `json:"elapsed_sec"`
+	DealsPerSec      float64            `json:"deals_per_sec"`
+	P50DecisionDelta float64            `json:"p50_decision_latency_delta"`
+	P99DecisionDelta float64            `json:"p99_decision_latency_delta"`
+	P99Gas           float64            `json:"p99_gas"`
+	Violations       int                `json:"violations"`
+	Stages           []obs.StageSeconds `json:"stages,omitempty"`
+	Mem              obs.MemStats       `json:"mem"`
+}
+
+func writeBenchSnapshot(w io.Writer, rep *fleet.Report, opts fleet.Options, elapsedSec float64, stages *obs.StageTimer) error {
 	workers := opts.Workers
 	if workers == 0 {
 		workers = runtime.NumCPU()
 	}
 	snap := benchSnapshot{
+		Schema:           2,
 		Deals:            opts.Deals,
 		Workers:          workers,
 		Seed:             opts.Gen.Seed,
 		Arena:            opts.Arena != nil,
-		ElapsedSec:       elapsed.Seconds(),
-		DealsPerSec:      float64(opts.Deals) / elapsed.Seconds(),
+		ElapsedSec:       elapsedSec,
+		DealsPerSec:      float64(opts.Deals) / elapsedSec,
 		P50DecisionDelta: rep.DeltaTime.P50,
 		P99DecisionDelta: rep.DeltaTime.P99,
 		P99Gas:           rep.Gas.P99,
 		Violations:       len(rep.Violations),
+		Stages:           stages.Stages(),
+		Mem:              obs.ReadMemStats(),
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -194,6 +194,9 @@ func TestBenchSnapshotJSON(t *testing.T) {
 	if err := json.Unmarshal(stdout.Bytes(), &snap); err != nil {
 		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, stdout.String())
 	}
+	if snap.Schema != 2 {
+		t.Fatalf("snapshot schema = %d, want 2", snap.Schema)
+	}
 	if snap.Deals != 16 || snap.Seed != 3 {
 		t.Fatalf("snapshot does not record its flags: %+v", snap)
 	}
@@ -206,6 +209,21 @@ func TestBenchSnapshotJSON(t *testing.T) {
 	if snap.P99DecisionDelta <= 0 || snap.P99Gas <= 0 {
 		t.Fatalf("percentile fields must be positive: %+v", snap)
 	}
+	stageNames := make(map[string]bool)
+	for _, s := range snap.Stages {
+		if s.Seconds < 0 {
+			t.Fatalf("negative stage time: %+v", s)
+		}
+		stageNames[s.Stage] = true
+	}
+	for _, want := range []string{"generate", "run", "aggregate"} {
+		if !stageNames[want] {
+			t.Fatalf("stage breakdown is missing %q: %+v", want, snap.Stages)
+		}
+	}
+	if snap.Mem.TotalAllocBytes == 0 || snap.Mem.Mallocs == 0 {
+		t.Fatalf("allocation counters must be positive: %+v", snap.Mem)
+	}
 
 	stdout.Reset()
 	stderr.Reset()
@@ -214,5 +232,206 @@ func TestBenchSnapshotJSON(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "mutually exclusive") {
 		t.Fatalf("stderr %q does not explain the rejection", stderr.String())
+	}
+}
+
+// TestMetricsSnapshotFiles: -metrics-json and -metrics-csv write
+// non-empty registry snapshots, and the JSON one carries the core
+// chain counters the sweep promises (blocks sealed, mempool
+// high-water, queue delays) plus the fleet totals.
+func TestMetricsSnapshotFiles(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "metrics.json")
+	csvPath := filepath.Join(dir, "metrics.csv")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-deals", "20", "-seed", "5", "-workers", "4", "-json",
+		"-metrics-json", jsonPath, "-metrics-csv", csvPath}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("metrics JSON not written: %v", err)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(snap.Metrics) == 0 {
+		t.Fatal("metrics snapshot is empty")
+	}
+	have := make(map[string]string)
+	for _, m := range snap.Metrics {
+		have[m.Name] = m.Kind
+	}
+	for name, kind := range map[string]string{
+		"chain.blocks_sealed":        "counter",
+		"chain.mempool_high":         "gauge",
+		"chain.tx_queue_delay_ticks": "histogram",
+		"fleet.deals_run":            "counter",
+	} {
+		if have[name] != kind {
+			t.Fatalf("metric %s: kind %q, want %q (snapshot: %s)", name, have[name], kind, raw)
+		}
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("metrics CSV not written: %v", err)
+	}
+	if !strings.HasPrefix(string(csv), "name,kind,count,value,high,sum,overflow,buckets\n") {
+		t.Fatalf("CSV header missing:\n%s", csv)
+	}
+	if !strings.Contains(string(csv), "chain.blocks_sealed,counter") {
+		t.Fatalf("CSV lacks chain.blocks_sealed row:\n%s", csv)
+	}
+}
+
+// TestFlightRecordOnBudgetBreach: a failing sweep with -flight-record
+// dumps a valid JSONL evidence file — a config event plus the breach —
+// while a clean sweep leaves no file behind.
+func TestFlightRecordOnBudgetBreach(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flight.jsonl")
+	base := []string{"-deals", "20", "-seed", "5", "-workers", "4", "-json",
+		"-flight-record", path}
+	var stdout, stderr bytes.Buffer
+
+	// An absurdly tight latency budget forces the failure path.
+	code := run(append(base, "-budget-p99-delta", "0.0001"), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("tight budget exited %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "flight record") {
+		t.Fatalf("stderr does not announce the flight record: %s", stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("flight record not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("flight record too short (%d lines):\n%s", len(lines), raw)
+	}
+	kinds := make(map[string]int)
+	var lastSeq uint64
+	for i, line := range lines {
+		var ev struct {
+			Seq    uint64 `json:"seq"`
+			At     int64  `json:"at"`
+			Source string `json:"source"`
+			Kind   string `json:"kind"`
+			Detail string `json:"detail"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if i > 0 && ev.Seq <= lastSeq {
+			t.Fatalf("seq not strictly increasing at line %d: %d after %d", i, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		kinds[ev.Kind]++
+	}
+	if kinds["config"] == 0 {
+		t.Fatalf("no config event in flight record: %v", kinds)
+	}
+	if kinds["budget-breach"] == 0 {
+		t.Fatalf("no budget-breach event in flight record: %v", kinds)
+	}
+
+	// A clean run must not leave an evidence file.
+	clean := filepath.Join(dir, "clean.jsonl")
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-deals", "20", "-seed", "5", "-json",
+		"-flight-record", clean}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean run exited %d\nstderr: %s", code, stderr.String())
+	}
+	if _, err := os.Stat(clean); !os.IsNotExist(err) {
+		t.Fatalf("clean sweep wrote a flight record anyway (err=%v)", err)
+	}
+}
+
+// TestProfilingFlagsWriteProfiles: -cpuprofile/-memprofile/-mutexprofile
+// each produce a non-empty pprof file without disturbing the run.
+func TestProfilingFlagsWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	mutex := filepath.Join(dir, "mutex.pprof")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-deals", "20", "-seed", "5", "-workers", "4", "-json",
+		"-cpuprofile", cpu, "-memprofile", mem, "-mutexprofile", mutex}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	for _, path := range []string{cpu, mem, mutex} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+// TestObsFlagsDoNotChangeReport: the same sweep with every
+// observability flag on must render the identical report bytes as the
+// bare sweep — the instruments are passive by contract.
+func TestObsFlagsDoNotChangeReport(t *testing.T) {
+	dir := t.TempDir()
+	render := func(extra ...string) string {
+		var stdout, stderr bytes.Buffer
+		args := append([]string{
+			"-arena", "-deals", "24", "-arena-deals", "12", "-chains", "2",
+			"-seed", "7", "-feemarket", "-hedge", "-volatility", "0.05",
+			"-no-baselines", "-workers", "4", "-json"}, extra...)
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("run(%v) = %d: %s", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	bare := render()
+	instrumented := render(
+		"-metrics-json", filepath.Join(dir, "m.json"),
+		"-metrics-csv", filepath.Join(dir, "m.csv"),
+		"-flight-record", filepath.Join(dir, "f.jsonl"),
+		"-cpuprofile", filepath.Join(dir, "cpu.pprof"),
+		"-memprofile", filepath.Join(dir, "mem.pprof"),
+		"-mutexprofile", filepath.Join(dir, "mutex.pprof"))
+	if bare != instrumented {
+		t.Fatal("observability flags changed the report output")
+	}
+}
+
+// TestMetricsSnapshotIndependentOfWorkerCount: the merged registry
+// snapshot must be byte-identical at any pool size — shard merges are
+// commutative and the snapshot is name-sorted.
+func TestMetricsSnapshotIndependentOfWorkerCount(t *testing.T) {
+	dir := t.TempDir()
+	snapshot := func(workers string) string {
+		path := filepath.Join(dir, "m"+workers+".json")
+		var stdout, stderr bytes.Buffer
+		code := run([]string{
+			"-arena", "-deals", "24", "-arena-deals", "12", "-chains", "2",
+			"-seed", "7", "-feemarket", "-bundles", "-volatility", "0.05",
+			"-no-baselines", "-workers", workers, "-json",
+			"-metrics-json", path}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("workers=%s exited %d: %s", workers, code, stderr.String())
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	if snapshot("1") != snapshot("8") {
+		t.Fatal("metrics snapshot depends on the worker count")
 	}
 }

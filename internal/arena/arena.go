@@ -25,6 +25,7 @@ import (
 	"xdeal/internal/escrow"
 	"xdeal/internal/feemarket"
 	"xdeal/internal/hedge"
+	"xdeal/internal/obs"
 	"xdeal/internal/party"
 	"xdeal/internal/sim"
 )
@@ -91,6 +92,12 @@ type Options struct {
 	// PremiumVolWindow is the realized base-fee volatility window (in
 	// sealed blocks) premiums are priced over (default 32).
 	PremiumVolWindow int
+	// Metrics, when non-nil, receives the arena's observability
+	// registrations after the run: substrate counters (blocks sealed,
+	// mempool high-water, fee and hedge ledgers) plus the interference
+	// tallies. Collection is post-hoc and purely derived, so attaching
+	// a registry never changes the simulation.
+	Metrics *obs.Registry
 }
 
 func (o *Options) defaults() error {
@@ -539,7 +546,35 @@ func Run(opts Options, pop []DealSetup) (*Result, error) {
 		}
 		res.Interference.ResidualSoreLoserLoss += residual
 	}
+	registerMetrics(opts.Metrics, sub, res)
 	return res, nil
+}
+
+// registerMetrics folds one finished arena into the registry: the
+// shared substrate's chain/fee/hedge counters, then the interference
+// tallies. Counter merges are commutative sums, so sweep-level
+// snapshots are identical however arenas are distributed over workers.
+func registerMetrics(reg *obs.Registry, sub *engine.Substrate, res *Result) {
+	if reg == nil {
+		return
+	}
+	sub.RegisterMetrics(reg)
+	reg.Counter("arena.runs").Inc()
+	reg.Counter("arena.deals").Add(uint64(len(res.Outcomes)))
+	i := res.Interference
+	reg.Counter("arena.sore_loser_triggers").Add(uint64(i.SoreLoserTriggers))
+	reg.Counter("arena.sore_loser_deals").Add(uint64(i.SoreLoserDeals))
+	reg.Counter("arena.sore_loser_loss").Add(i.SoreLoserLoss)
+	reg.Counter("arena.front_run_attempts").Add(uint64(i.FrontRunAttempts))
+	reg.Counter("arena.front_run_wins").Add(uint64(i.FrontRunWins))
+	reg.Counter("arena.fee_bid_attempts").Add(uint64(i.FeeBidAttempts))
+	reg.Counter("arena.fee_bid_wins").Add(uint64(i.FeeBidWins))
+	reg.Counter("arena.bundle_auctions").Add(uint64(i.BundleAuctions))
+	reg.Counter("arena.bundle_wins").Add(uint64(i.BundleWins))
+	reg.Counter("arena.bundle_defers").Add(uint64(i.BundleDefers))
+	reg.Counter("arena.exclusion_attempts").Add(uint64(i.ExclusionAttempts))
+	reg.Counter("arena.exclusion_successes").Add(uint64(i.ExclusionSuccesses))
+	reg.Counter("arena.victim_exclusion_blocks").Add(uint64(i.VictimExclusionBlocks))
 }
 
 // strandedDeposits sums the fungible deposits the deal's compliant

@@ -214,6 +214,7 @@ type Chain struct {
 	nextRcpt  int
 	blockSet  bool // a block production event is scheduled
 	receipts  []*Receipt
+	mpHigh    int // mempool depth high-water, sampled at each arrival
 
 	// Bundle-auction state (see bundles.go): the auction queue in
 	// arrival order, each deal's open bundle, per-deal loss streaks,
@@ -353,6 +354,9 @@ func (c *Chain) Submit(tx *Tx) {
 	c.sched.After(d, func() {
 		tx.arrivedAt = c.sched.Now()
 		c.mempool = append(c.mempool, tx)
+		if len(c.mempool) > c.mpHigh {
+			c.mpHigh = len(c.mempool)
+		}
 		c.scheduleBlock()
 	})
 	c.gossipTx(tx)

@@ -1,0 +1,19 @@
+package feemarket
+
+import (
+	"xdeal/internal/obs"
+)
+
+// RegisterMetrics folds the market's lifetime ledger into a registry:
+// fee-bearing blocks sealed, units burned and tipped, and the final
+// base fee (gauge max across merged markets). Purely derived from
+// state already accumulated — registering never perturbs the market.
+func (m *Market) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil || m == nil {
+		return
+	}
+	reg.Counter("feemarket.blocks_sealed").Add(uint64(m.sealed))
+	reg.Counter("feemarket.burned").Add(m.total.Burned)
+	reg.Counter("feemarket.tipped").Add(m.total.Tipped)
+	reg.Gauge("feemarket.base_fee").Set(int64(m.baseFee))
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xdeal/internal/arena"
+	"xdeal/internal/obs"
 	"xdeal/internal/sim"
 )
 
@@ -164,8 +165,9 @@ func arenaRunOptions(gen GenOptions, ao ArenaOptions, arenaIdx int) (arena.Optio
 
 // runArena synthesizes and executes arena a of a totalDeals population.
 // Both the sweep and the replay path go through here, so a flagged deal
-// is guaranteed to replay inside the identical world.
-func runArena(gen *Generator, genOpts GenOptions, ao ArenaOptions, a, totalDeals int) (*arena.Result, error) {
+// is guaranteed to replay inside the identical world. A non-nil metrics
+// registry receives the arena's substrate and interference counters.
+func runArena(gen *Generator, genOpts GenOptions, ao ArenaOptions, a, totalDeals int, metrics *obs.Registry) (*arena.Result, error) {
 	count := ao.DealsPerArena
 	if rest := totalDeals - a*ao.DealsPerArena; rest < count {
 		count = rest
@@ -178,6 +180,7 @@ func runArena(gen *Generator, genOpts GenOptions, ao ArenaOptions, a, totalDeals
 	if err != nil {
 		return nil, err
 	}
+	ropts.Metrics = metrics
 	return arena.Run(ropts, pop)
 }
 
@@ -198,19 +201,38 @@ func sweepArenas(opts Options) (*Report, error) {
 		return nil, err
 	}
 	nArenas := (opts.Deals + ao.DealsPerArena - 1) / ao.DealsPerArena
+	stages := opts.Obs.stages()
 	results := make([]*arena.Result, nArenas)
+	var shards []*obs.Registry
+	if opts.Obs.metrics() != nil {
+		shards = make([]*obs.Registry, nArenas)
+		for a := range shards {
+			shards[a] = obs.NewRegistry()
+		}
+	}
+	stopRun := stages.Start("run")
 	runErr := Pool{Workers: opts.Workers}.Map(nArenas, func(a int) error {
-		res, err := runArena(gen, opts.Gen, ao, a, opts.Deals)
+		var reg *obs.Registry
+		if shards != nil {
+			reg = shards[a]
+		}
+		res, err := runArena(gen, opts.Gen, ao, a, opts.Deals, reg)
 		if err != nil {
 			return err
 		}
 		results[a] = res
 		return nil
 	})
+	stopRun()
 	if runErr != nil {
 		return nil, runErr
 	}
+	for _, shard := range shards {
+		opts.Obs.metrics().Merge(shard)
+	}
 
+	stopAgg := stages.Start("aggregate")
+	defer stopAgg()
 	agg := NewAggregator()
 	feesOn := gen.opts.Fees != nil
 	if f := gen.opts.Fees; f != nil {
@@ -222,6 +244,7 @@ func sweepArenas(opts Options) (*Report, error) {
 	if ao.Bundles {
 		agg.EnableBundles(ao.BundleBudget)
 	}
+	agg.EnableObs(opts.Obs.metrics(), opts.Obs.flight())
 	inter := &Interference{Arenas: nArenas, Chains: ao.Chains}
 	var inflation Sketch
 	for a, res := range results {
@@ -270,7 +293,7 @@ func ReplayArenaDeal(opts Options, index int) (*arena.DealOutcome, error) {
 		return nil, err
 	}
 	a := index / ao.DealsPerArena
-	res, err := runArena(gen, opts.Gen, ao, a, opts.Deals)
+	res, err := runArena(gen, opts.Gen, ao, a, opts.Deals, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -307,6 +330,7 @@ func arenaRecord(globalIndex int, protocol string, out arena.DealOutcome, feesOn
 		CBCGas:    r.CBCGas,
 		DeltaTime: out.ArenaDelta,
 		EndedAt:   int64(r.EndedAt),
+		Spans:     newPhaseSpans(r.Phases, out.Spec.Delta),
 	}
 	if feesOn {
 		// Per-deal fee attribution only; world totals, samples, and

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xdeal/internal/engine"
+	"xdeal/internal/obs"
 )
 
 // FeeOptions enables fee markets across a sweep: every generated world
@@ -61,6 +62,10 @@ type Options struct {
 	// Arena.DealsPerArena deals each, contending for the same chains
 	// against adaptive adversaries (see internal/arena).
 	Arena *ArenaOptions
+	// Obs, when non-nil, attaches the observability layer (metrics
+	// registry, flight recorder, stage timer). Strictly passive: the
+	// Report is byte-identical with Obs set or nil.
+	Obs *ObsOptions
 }
 
 // Record is the trimmed, aggregation-ready outcome of one deal run.
@@ -93,6 +98,10 @@ type Record struct {
 	CBCGas    uint64  `json:"cbc_gas,omitempty"`
 	DeltaTime float64 `json:"delta_time"` // decision completion in Δ units
 	EndedAt   int64   `json:"ended_at"`
+
+	// Spans is the deal's per-phase lifecycle timing in Δ units; nil
+	// when no phase completed (e.g. an errored build).
+	Spans *PhaseSpans `json:"spans,omitempty"`
 
 	// Fee carries the run's fee-market outcome; nil without a fee
 	// market.
@@ -127,6 +136,7 @@ func record(job Job, r *engine.Result) Record {
 		CBCGas:    r.CBCGas,
 		DeltaTime: r.Phases.InDelta(r.Phases.DecisionEnd, job.Spec.Delta),
 		EndedAt:   int64(r.EndedAt),
+		Spans:     newPhaseSpans(r.Phases, job.Spec.Delta),
 	}
 	if r.Fees != nil {
 		fee := &FeeRecord{
@@ -149,7 +159,19 @@ func record(job Job, r *engine.Result) Record {
 // single-threaded simulation, so runs share nothing; the output is
 // identical for any worker count.
 func RunJobs(jobs []Job, workers int) []Record {
+	return runJobs(jobs, workers, nil)
+}
+
+// runJobs is RunJobs with an optional metrics registry: each job's
+// world registers into a private per-job registry, and the shards merge
+// into reg in job order once the pool drains. Shard merges are
+// commutative, so the merged registry is identical at any worker count.
+func runJobs(jobs []Job, workers int, reg *obs.Registry) []Record {
 	records := make([]Record, len(jobs))
+	var shards []*obs.Registry
+	if reg != nil {
+		shards = make([]*obs.Registry, len(jobs))
+	}
 	// Map's per-index error slot is unused: a failed build is itself a
 	// population observation, recorded rather than aborting the sweep.
 	_ = Pool{Workers: workers}.Map(len(jobs), func(i int) error {
@@ -165,8 +187,15 @@ func RunJobs(jobs []Job, workers int) []Record {
 			return nil
 		}
 		records[i] = record(job, w.Run())
+		if shards != nil {
+			shards[i] = obs.NewRegistry()
+			w.RegisterMetrics(shards[i])
+		}
 		return nil
 	})
+	for _, shard := range shards {
+		reg.Merge(shard)
+	}
 	return records
 }
 
@@ -194,7 +223,8 @@ func Sweep(opts Options) (*Report, error) {
 	if f := gen.opts.Fees; f != nil {
 		agg.EnableFees(f.BaseFee, f.TipBudget)
 	}
-	Stream(gen, opts.Deals, opts.Workers, agg)
+	agg.EnableObs(opts.Obs.metrics(), opts.Obs.flight())
+	stream(gen, opts.Deals, opts.Workers, agg, opts.Obs)
 	return agg.Report(), nil
 }
 
@@ -205,6 +235,14 @@ func Sweep(opts Options) (*Report, error) {
 // of jobs and records at a time); the fold is identical to
 // Aggregate(RunJobs(gen.Jobs(n), workers)) at any worker count.
 func Stream(gen *Generator, n, workers int, agg *Aggregator) {
+	stream(gen, n, workers, agg, nil)
+}
+
+// stream is Stream with the observability layer attached: per-chunk
+// wall time is split into generate / run / aggregate stages, and each
+// world's metrics merge into the registry in index order.
+func stream(gen *Generator, n, workers int, agg *Aggregator, ob *ObsOptions) {
+	stages := ob.stages()
 	chunk := Pool{Workers: workers}.Size(n) * 8
 	if chunk < 64 {
 		chunk = 64
@@ -216,11 +254,18 @@ func Stream(gen *Generator, n, workers int, agg *Aggregator) {
 			hi = n
 		}
 		jobs = jobs[:0]
+		stopGen := stages.Start("generate")
 		for i := lo; i < hi; i++ {
 			jobs = append(jobs, gen.Job(i))
 		}
-		for _, rec := range RunJobs(jobs, workers) {
+		stopGen()
+		stopRun := stages.Start("run")
+		recs := runJobs(jobs, workers, ob.metrics())
+		stopRun()
+		stopAgg := stages.Start("aggregate")
+		for _, rec := range recs {
 			agg.Add(rec)
 		}
+		stopAgg()
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"xdeal/internal/arena"
 	"xdeal/internal/engine"
+	"xdeal/internal/obs"
 )
 
 // Dist summarizes a sample distribution with percentiles.
@@ -210,6 +211,11 @@ type Report struct {
 	// (within 2%); count, min, max and mean are exact.
 	Gas       Dist `json:"gas"`
 	DeltaTime Dist `json:"delta_time"`
+
+	// Phases localizes decision latency: per-protocol distributions of
+	// each lifecycle phase span (escrow, transfer, validation, decision,
+	// total), in Δ units. Nil only when no folded record carried spans.
+	Phases *PhasesBlock `json:"phases,omitempty"`
 
 	// Violations flags every Property 1–3 violation with its seed. A
 	// pathological population is truncated at maxViolations flags;
@@ -772,9 +778,21 @@ const maxViolations = 1000
 type Aggregator struct {
 	rep        *Report
 	gas, dtime Sketch
-	fees       *feeAgg    // nil unless EnableFees armed the ordering block
-	hedge      *hedgeAgg  // nil unless EnableHedging armed the hedging block
-	bundles    *bundleAgg // nil unless EnableBundles armed the bundle block
+	fees       *feeAgg              // nil unless EnableFees armed the ordering block
+	hedge      *hedgeAgg            // nil unless EnableHedging armed the hedging block
+	bundles    *bundleAgg           // nil unless EnableBundles armed the bundle block
+	phases     map[string]*phaseAgg // protocol -> phase sketches, created on first span
+	metrics    *obs.Registry        // nil unless EnableObs attached a registry
+	flight     *obs.Recorder        // nil unless EnableObs attached a recorder
+}
+
+// EnableObs attaches the observability instruments: the registry gains
+// fleet-level counters (deals run, violations) as records fold, and the
+// flight recorder receives one evidence event per violation or error.
+// Both are passive — the Report itself never changes.
+func (a *Aggregator) EnableObs(metrics *obs.Registry, flight *obs.Recorder) {
+	a.metrics = metrics
+	a.flight = flight
 }
 
 // NewAggregator returns an empty aggregator.
@@ -803,6 +821,17 @@ func (a *Aggregator) Add(r Record) {
 			a.dtime.Add(r.DeltaTime)
 		}
 	}
+	if r.Spans != nil {
+		if a.phases == nil {
+			a.phases = make(map[string]*phaseAgg)
+		}
+		p := a.phases[r.Protocol]
+		if p == nil {
+			p = &phaseAgg{}
+			a.phases[r.Protocol] = p
+		}
+		p.add(r.Spans)
+	}
 	if r.Fee != nil && a.fees != nil {
 		f := a.fees
 		f.burned += r.Fee.Burned
@@ -823,12 +852,24 @@ func (a *Aggregator) Add(r Record) {
 	for _, v := range r.LivenessViolations {
 		rep.flag(r, "liveness (P2)", v)
 	}
-	if r.Err == "" && r.Adversaries == 0 && !r.Outage && r.Sequenceable && !r.Committed {
+	p3 := r.Err == "" && r.Adversaries == 0 && !r.Outage && r.Sequenceable && !r.Committed
+	if p3 {
 		rep.flag(r, "strong liveness (P3)", "all parties compliant yet the deal did not commit")
 	}
 	if r.Err != "" {
 		rep.flag(r, "error", r.Err)
 	}
+	a.metrics.Counter("fleet.deals_run").Inc()
+	if flags := len(r.SafetyViolations) + len(r.LivenessViolations); flags > 0 {
+		a.metrics.Counter("fleet.violations").Add(uint64(flags))
+	}
+	if p3 {
+		a.metrics.Counter("fleet.violations").Inc()
+	}
+	if r.Err != "" {
+		a.metrics.Counter("fleet.errors").Inc()
+	}
+	recordFlight(a.flight, r, p3)
 }
 
 // Report finalizes and returns the aggregate. The aggregator may keep
@@ -836,6 +877,21 @@ func (a *Aggregator) Add(r Record) {
 func (a *Aggregator) Report() *Report {
 	a.rep.Gas = a.gas.Dist()
 	a.rep.DeltaTime = a.dtime.Dist()
+	if len(a.phases) > 0 {
+		pb := &PhasesBlock{}
+		protos := make([]string, 0, len(a.phases))
+		for p := range a.phases {
+			protos = append(protos, p)
+		}
+		sort.Strings(protos)
+		for _, p := range protos {
+			pb.Protocols = append(pb.Protocols, ProtocolPhases{
+				Protocol: p,
+				Phases:   a.phases[p].phases(),
+			})
+		}
+		a.rep.Phases = pb
+	}
 	if a.fees != nil {
 		a.rep.OrderingGames = a.fees.orderingGames()
 	}
@@ -925,6 +981,19 @@ func (rep *Report) Fprint(w io.Writer) {
 			li.Count, li.Min, li.Mean, li.P50, li.P90, li.P99, li.Max)
 	}
 	tw.Flush()
+
+	if ph := rep.Phases; ph != nil {
+		fmt.Fprintf(w, "\nphase latency (Δ units, by protocol):\n")
+		ptw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(ptw, "  protocol\tphase\tcount\tmean\tp50\tp90\tp99\tmax")
+		for _, pp := range ph.Protocols {
+			for _, pd := range pp.Phases {
+				fmt.Fprintf(ptw, "  %s\t%s\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+					pp.Protocol, pd.Phase, pd.Count, pd.Mean, pd.P50, pd.P90, pd.P99, pd.Max)
+			}
+		}
+		ptw.Flush()
+	}
 
 	if inf := rep.Interference; inf != nil {
 		fmt.Fprintf(w, "\ninterference (%d arenas × %d shared chains):\n", inf.Arenas, inf.Chains)

@@ -1,0 +1,21 @@
+package hedge
+
+import (
+	"xdeal/internal/obs"
+)
+
+// RegisterMetrics folds the hedging pool's ledger into a registry:
+// positions bound and settled, premiums charged, payouts and refunds
+// disbursed, retention kept. Purely derived from the contract's totals
+// — registering never perturbs the pool.
+func (m *Manager) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil || m == nil {
+		return
+	}
+	reg.Counter("hedge.binds").Add(uint64(m.totals.Bound))
+	reg.Counter("hedge.settles").Add(uint64(m.totals.Settled))
+	reg.Counter("hedge.premiums").Add(m.totals.Premiums)
+	reg.Counter("hedge.payouts").Add(m.totals.Payouts)
+	reg.Counter("hedge.refunds").Add(m.totals.Refunds)
+	reg.Counter("hedge.retained").Add(m.totals.Retained)
+}

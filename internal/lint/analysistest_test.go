@@ -33,8 +33,11 @@ func TestDetRangeFixtures(t *testing.T) {
 
 func TestNoClockFixtures(t *testing.T) {
 	runFixture(t, NoClock, "xdeal/internal/clock")
-	// The sanctioned wrapper package: banned calls, zero diagnostics.
+	// The sanctioned wrapper packages: banned calls, zero diagnostics.
 	runFixture(t, NoClock, "xdeal/internal/sim")
+	runFixture(t, NoClock, "xdeal/internal/obs")
+	// A lookalike prefix must NOT inherit the obs exemption.
+	runFixture(t, NoClock, "xdeal/internal/obsfake")
 }
 
 func TestReceiptCheckFixtures(t *testing.T) {

@@ -35,12 +35,16 @@ var NoClock = &Analyzer{
 }
 
 // noClockExempt lists internal packages allowed to touch the ambient
-// sources: sim wraps them, and lint (this package) shells out to the
-// go command.
+// sources: sim wraps the simulator-facing ones, obs wraps the
+// observability-facing ones (wall-clock stage timing, profiling,
+// runtime counters — none of which may feed a report), and lint (this
+// package) shells out to the go command.
 func noClockExempt(path string) bool {
 	return strings.HasSuffix(path, "internal/sim") ||
 		strings.Contains(path, "internal/lint") ||
-		strings.Contains(path, "internal/sim/")
+		strings.Contains(path, "internal/sim/") ||
+		strings.HasSuffix(path, "internal/obs") ||
+		strings.Contains(path, "internal/obs/")
 }
 
 // bannedTimeFuncs are the time package entry points that read or wait

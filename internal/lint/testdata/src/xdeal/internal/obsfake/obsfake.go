@@ -1,0 +1,12 @@
+// Package obsfake is a lookalike of the sanctioned obs wrapper that
+// is NOT exempt: the exemption must match internal/obs exactly, not
+// any package whose name merely starts with "obs".
+package obsfake
+
+import "time"
+
+func sneakyNow() time.Time { return time.Now() } // want `reads the wall clock`
+
+func sneakySince(begin time.Time) float64 {
+	return time.Since(begin).Seconds() // want `reads the wall clock`
+}

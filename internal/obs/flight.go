@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// DefaultFlightCap is the ring size used when a Recorder is built with
+// NewRecorder(0): enough to hold every event of a large sweep's tail
+// without unbounded growth on a pathological run.
+const DefaultFlightCap = 4096
+
+// FlightEvent is one structured flight-recorder entry. Seq is assigned
+// at record time and strictly increases, so an exported log is totally
+// ordered even when events share a sim-time. At is sim-time ticks
+// (int64 so -1 can mark pre-sim configuration events).
+type FlightEvent struct {
+	Seq    uint64 `json:"seq"`
+	At     int64  `json:"at"`
+	Source string `json:"source"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// Recorder is a bounded ring buffer of FlightEvents: the newest cap
+// events survive, older ones are evicted, and Dropped counts the
+// evictions. A nil Recorder is a no-op, like every other instrument in
+// this package.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []FlightEvent
+	start   int // index of the oldest live event
+	n       int // live events in buf
+	seq     uint64
+	dropped uint64
+}
+
+// NewRecorder returns a recorder holding at most cap events
+// (DefaultFlightCap if cap <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCap
+	}
+	return &Recorder{buf: make([]FlightEvent, capacity)}
+}
+
+// Record appends an event, evicting the oldest if the ring is full.
+// Safe for concurrent use.
+func (r *Recorder) Record(at int64, source, kind, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev := FlightEvent{Seq: r.seq, At: at, Source: source, Kind: kind, Detail: detail}
+	r.seq++
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = ev
+		r.n++
+		return
+	}
+	r.buf[r.start] = ev
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Events returns the live events, oldest first.
+func (r *Recorder) Events() []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FlightEvent, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of live events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped returns how many events were evicted to make room.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// WriteJSONL exports the live events as JSON Lines, oldest first, one
+// event per line with a fixed field order (seq, at, source, kind,
+// detail). The export of a deterministic run is itself deterministic.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

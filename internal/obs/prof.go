@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles configures the pprof outputs a run may emit. Empty paths
+// disable the corresponding profile.
+type Profiles struct {
+	CPU   string // CPU profile path (-cpuprofile)
+	Mem   string // heap profile path, written at stop (-memprofile)
+	Mutex string // mutex-contention profile path, written at stop (-mutexprofile)
+}
+
+// Enabled reports whether any profile is configured.
+func (p Profiles) Enabled() bool {
+	return p.CPU != "" || p.Mem != "" || p.Mutex != ""
+}
+
+// Start begins the configured profiles and returns the stop function
+// that finalizes them (stops the CPU profile, snapshots heap and mutex
+// profiles). The stop function is safe to call exactly once.
+func (p Profiles) Start() (func() error, error) {
+	var cpuFile *os.File
+	if p.CPU != "" {
+		f, err := os.Create(p.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	if p.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	stop := func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if p.Mem != "" {
+			if err := writeProfile("heap", p.Mem, true); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if p.Mutex != "" {
+			err := writeProfile("mutex", p.Mutex, false)
+			runtime.SetMutexProfileFraction(0)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	return stop, nil
+}
+
+func writeProfile(name, path string, gcFirst bool) error {
+	if gcFirst {
+		runtime.GC()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("%sprofile: %w", name, err)
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		return fmt.Errorf("%sprofile: %w", name, err)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -94,4 +95,28 @@ func (l *Log) Fprint(w io.Writer) {
 	for _, e := range l.Events() {
 		fmt.Fprintf(w, "t=%6d  %-12s %-16s %s\n", e.At, e.Source, e.Kind, e.Detail)
 	}
+}
+
+// jsonEvent fixes the JSONL field order; seq is exported here so tools
+// can re-sort a concatenation of logs the same way Events does.
+type jsonEvent struct {
+	At     int64  `json:"at"`
+	Seq    int    `json:"seq"`
+	Source string `json:"source"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// WriteJSON streams the log as JSON Lines, one event per line in the
+// same chronological, seq-tiebroken order Events returns — the
+// machine-readable sibling of Fprint for external tooling.
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.Events() {
+		ev := jsonEvent{At: int64(e.At), Seq: e.seq, Source: e.Source, Kind: e.Kind, Detail: e.Detail}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
 }
