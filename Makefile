@@ -22,7 +22,7 @@ vet:
 # (make bench-snapshot PR=8 writes BENCH_pr8.json). Wall-clock, stage,
 # and allocation fields vary by machine; the latency/gas percentiles
 # are seed-deterministic.
-PR ?= 7
+PR ?= 8
 bench-snapshot:
 	$(GO) run ./cmd/dealsweep -deals 512 -workers 0 -seed 7 -bench-json > BENCH_pr$(PR).json
 	@cat BENCH_pr$(PR).json

@@ -61,9 +61,19 @@ func main() {
 	censor := flag.String("censor", "", "comma-separated parties censored by CBC validators")
 	showMatrix := flag.Bool("matrix", true, "print the deal matrix (Figure 1 style)")
 	showTrace := flag.Bool("trace", false, "print the chronological protocol trace")
+	explain := flag.Bool("explain", false, "with -trace: print the deal's critical path and latency attribution")
+	chromeTrace := flag.String("chrome-trace", "", "with -trace: write the deal's causal trace as Chrome trace-event JSON to this path (opens in ui.perfetto.dev)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "dealsim: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	if *explain && !*showTrace {
+		fmt.Fprintln(os.Stderr, "dealsim: -explain needs -trace (the explain view extends the protocol trace)")
+		os.Exit(2)
+	}
+	if *chromeTrace != "" && !*showTrace {
+		fmt.Fprintln(os.Stderr, "dealsim: -chrome-trace needs -trace (the exporter serializes the traced run)")
 		os.Exit(2)
 	}
 
@@ -163,8 +173,40 @@ func main() {
 	r := w.Run()
 	if tr != nil {
 		fmt.Println("--- trace ---")
-		tr.Fprint(os.Stdout)
+		if err := tr.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "dealsim: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Println()
+	}
+	if *explain {
+		out, err := w.ExplainDeal(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dealsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("--- critical path ---")
+		fmt.Print(out)
+		fmt.Println()
+	}
+	if *chromeTrace != "" {
+		spans := w.DealSpans(r)
+		f, err := os.Create(*chromeTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dealsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteChromeTrace(f, spans); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dealsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dealsim: chrome trace (%d spans) written to %s — open in ui.perfetto.dev\n",
+			len(spans), *chromeTrace)
 	}
 	fmt.Print(r.Summary())
 	fmt.Printf("\nphases (Δ=%d): escrow end t=%d, transfers end t=%d, validation end t=%d, decision t=%d\n",

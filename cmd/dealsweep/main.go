@@ -84,10 +84,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"xdeal/internal/engine"
 	"xdeal/internal/fleet"
 	"xdeal/internal/obs"
+	"xdeal/internal/trace"
 )
 
 func main() {
@@ -111,6 +113,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of tables")
 	benchJSON := fs.Bool("bench-json", false, "emit a throughput snapshot (deals/sec, p99 decision latency) as JSON instead of the report")
 	replayIndex := fs.Int("replay", -1, "re-run this deal index from the sweep in full detail")
+	explain := fs.Bool("explain", false, "with -replay: print the replayed deal's critical path and latency attribution as an annotated timeline")
+	chromeTrace := fs.String("chrome-trace", "", "with -replay: write the replayed deal's causal trace as Chrome trace-event JSON to this path (opens in ui.perfetto.dev)")
 
 	feeMarket := fs.Bool("feemarket", false, "enable per-chain fee markets: tip-ordered blocks, EIP-1559 base fee, fee-bidding front-runners")
 	baseFee := fs.Uint64("base-fee", 100, "initial base fee (feemarket mode)")
@@ -202,6 +206,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *budgetBundleDefer > 0 && !*bundleMode {
 		return fail("-budget-bundle-defer needs -bundles")
 	}
+	if *explain && *replayIndex < 0 {
+		return fail("-explain needs -replay (a critical path is a property of one replayed deal)")
+	}
+	if *chromeTrace != "" && *replayIndex < 0 {
+		return fail("-chrome-trace needs -replay (the exporter serializes one replayed deal's causal trace)")
+	}
+	if (*explain || *chromeTrace != "") && *arenaMode {
+		return fail("-explain and -chrome-trace need an isolated replay (arena chains interleave many deals; drop -arena to trace one)")
+	}
 	gen := fleet.GenOptions{
 		Seed:          *seed,
 		Protocol:      *protocol,
@@ -239,7 +252,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *arenaMode {
 			return replayArena(stdout, stderr, opts, *replayIndex)
 		}
-		return replay(stdout, stderr, gen, *replayIndex)
+		return replay(stdout, stderr, gen, *replayIndex, *explain, *chromeTrace)
 	}
 
 	// The observability layer. Stage timing is always on (nil-safe,
@@ -347,10 +360,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "dealsweep: flight record (%d events, %d evicted) written to %s\n",
 					ob.Flight.Len(), ob.Flight.Dropped(), *flightRecord)
 			}
+			if !*arenaMode {
+				writeViolationTrace(stderr, gen, rep, *flightRecord)
+			}
 		}
 		return 1
 	}
 	return 0
+}
+
+// writeViolationTrace dumps the first flagged deal's causal trace as
+// Chrome trace-event JSON next to the flight record, so the evidence a
+// failed sweep ships includes the deal's happens-before timeline, not
+// just the violation text. Isolated sweeps only: the deal is a pure
+// function of (generator flags, index), so the re-run here is
+// bit-identical to the one the sweep flagged.
+func writeViolationTrace(stderr io.Writer, gen fleet.GenOptions, rep *fleet.Report, flightPath string) {
+	if len(rep.Violations) == 0 || flightPath == "" {
+		return
+	}
+	idx := rep.Violations[0].Index
+	g, err := fleet.NewGenerator(gen)
+	if err != nil {
+		fmt.Fprintf(stderr, "dealsweep: violation trace: %v\n", err)
+		return
+	}
+	job := g.Job(idx)
+	w, err := engine.Build(job.Spec, job.Opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "dealsweep: violation trace: build: %v\n", err)
+		return
+	}
+	spans := w.DealSpans(w.Run())
+	path := fmt.Sprintf("%s-deal%d.trace.json", strings.TrimSuffix(flightPath, ".jsonl"), idx)
+	if err := writeSnapshot(path, func(out io.Writer) error {
+		return trace.WriteChromeTrace(out, spans)
+	}); err != nil {
+		fmt.Fprintf(stderr, "dealsweep: violation trace: %v\n", err)
+		return
+	}
+	fmt.Fprintf(stderr, "dealsweep: causal trace of flagged deal %d (%d spans) written to %s\n",
+		idx, len(spans), path)
 }
 
 // writeSnapshot streams one observability artifact to path ("" skips).
@@ -419,8 +469,12 @@ func writeBenchSnapshot(w io.Writer, rep *fleet.Report, opts fleet.Options, elap
 
 // replay re-executes one generated scenario in full detail: the deal
 // matrix, the settlement summary, and any property violations. This is
-// the debugging path for a violation the sweep flagged.
-func replay(stdout, stderr io.Writer, gen fleet.GenOptions, index int) int {
+// the debugging path for a violation the sweep flagged. With explain it
+// appends the deal's critical path and latency attribution; with a
+// chromePath it writes the causal trace as Chrome trace-event JSON.
+// Both views are post-hoc reads of retained state, so the replayed
+// outcome is bit-identical to the sweep's either way.
+func replay(stdout, stderr io.Writer, gen fleet.GenOptions, index int, explain bool, chromePath string) int {
 	g, err := fleet.NewGenerator(gen)
 	if err != nil {
 		fmt.Fprintf(stderr, "dealsweep: %v\n", err)
@@ -437,6 +491,25 @@ func replay(stdout, stderr io.Writer, gen fleet.GenOptions, index int) int {
 	}
 	r := w.Run()
 	fmt.Fprint(stdout, r.Summary())
+	if explain {
+		out, err := w.ExplainDeal(r)
+		if err != nil {
+			fmt.Fprintf(stderr, "dealsweep: explain: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\n%s", out)
+	}
+	if chromePath != "" {
+		spans := w.DealSpans(r)
+		if err := writeSnapshot(chromePath, func(out io.Writer) error {
+			return trace.WriteChromeTrace(out, spans)
+		}); err != nil {
+			fmt.Fprintf(stderr, "dealsweep: chrome-trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "dealsweep: chrome trace (%d spans) written to %s — open in ui.perfetto.dev\n",
+			len(spans), chromePath)
+	}
 	violations := len(r.SafetyViolations) + len(r.LivenessViolations)
 	// Apply the same Property 3 predicate the sweep aggregation uses,
 	// so a deal the sweep flagged also fails its replay.

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"xdeal/internal/fleet"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden report fixtures")
@@ -38,6 +40,10 @@ func TestFlagValidationRejectsDegenerateSweeps(t *testing.T) {
 		{"defer-budget-without-bundles", []string{"-budget-bundle-defer", "0.5"}, "-budget-bundle-defer needs -bundles"},
 		{"stray-argument", []string{"extra"}, "unexpected argument"},
 		{"unknown-flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+		{"explain-without-replay", []string{"-explain"}, "-explain needs -replay"},
+		{"chrome-trace-without-replay", []string{"-chrome-trace", "t.json"}, "-chrome-trace needs -replay"},
+		{"explain-with-arena", []string{"-arena", "-replay", "3", "-explain"}, "need an isolated replay"},
+		{"chrome-trace-with-arena", []string{"-arena", "-replay", "3", "-chrome-trace", "t.json"}, "need an isolated replay"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -433,5 +439,107 @@ func TestMetricsSnapshotIndependentOfWorkerCount(t *testing.T) {
 	}
 	if snapshot("1") != snapshot("8") {
 		t.Fatal("metrics snapshot depends on the worker count")
+	}
+}
+
+// TestReplayExplainPrintsCriticalPath: -replay -explain appends the
+// annotated causal timeline and the latency-attribution table to the
+// replay output, and the attribution shares sum to 100%.
+func TestReplayExplainPrintsCriticalPath(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-deals", "20", "-seed", "5", "-replay", "3", "-explain"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"critical path (",
+		"latency attribution (decision latency",
+		"protocol-wait",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReplayChromeTraceWritesValidJSON: -replay -chrome-trace writes a
+// parseable Chrome trace-event file with metadata, span, and flow
+// events, and announces it on stderr.
+func TestReplayChromeTraceWritesValidJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deal.trace.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-deals", "20", "-seed", "5", "-replay", "3", "-chrome-trace", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "chrome trace") {
+		t.Fatalf("stderr does not announce the chrome trace: %s", stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("chrome trace not written: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, raw)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	kinds := make(map[string]int)
+	for _, ev := range doc.TraceEvents {
+		kinds[ev.Ph]++
+	}
+	for _, ph := range []string{"M", "X", "s", "f"} {
+		if kinds[ph] == 0 {
+			t.Fatalf("chrome trace has no %q events (got %v)", ph, kinds)
+		}
+	}
+	if kinds["s"] != kinds["f"] {
+		t.Fatalf("unbalanced flow events: %d starts, %d finishes", kinds["s"], kinds["f"])
+	}
+}
+
+// TestWriteViolationTrace: a failed sweep's evidence bundle includes
+// the first flagged deal's causal trace next to the flight record. The
+// protocols are sound, so the report is injected rather than produced
+// by real flags; the traced deal itself replays for real.
+func TestWriteViolationTrace(t *testing.T) {
+	dir := t.TempDir()
+	flight := filepath.Join(dir, "flight.jsonl")
+	gen := fleet.GenOptions{Seed: 5}
+	rep := &fleet.Report{Violations: []fleet.Violation{{Index: 3, Seed: 5, Property: "safety (P1)"}}}
+	var stderr bytes.Buffer
+	writeViolationTrace(&stderr, gen, rep, flight)
+	if !strings.Contains(stderr.String(), "causal trace of flagged deal 3") {
+		t.Fatalf("stderr does not announce the violation trace: %s", stderr.String())
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "flight-deal3.trace.json"))
+	if err != nil {
+		t.Fatalf("violation trace not written: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("violation trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("violation trace has no events")
+	}
+
+	// Without a flight record there is nowhere to put the evidence.
+	var quiet bytes.Buffer
+	writeViolationTrace(&quiet, gen, rep, "")
+	if quiet.Len() != 0 {
+		t.Fatalf("violation trace written without a flight record: %s", quiet.String())
 	}
 }

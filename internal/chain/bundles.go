@@ -158,6 +158,7 @@ func (c *Chain) SubmitBundled(bt BundleTx) {
 	tx := bt.Tx
 	tx.seq = c.txSeq
 	c.txSeq++
+	tx.submittedAt = c.sched.Now()
 	b := c.openBundles[bt.Deal]
 	if b == nil || b.full || b.won {
 		nb := &pendingBundle{deal: bt.Deal, seq: c.txSeq}
@@ -388,6 +389,13 @@ func (c *Chain) produceAuctionBlock() {
 	// bind pricing its premium, say) must read the streak the deal
 	// realized *before* this inclusion — the consecutive losses it just
 	// suffered — not the reset this win is about to apply.
+	// Every deferral in an auction block is a displacement by winning
+	// bids; the marginal (last-included) charge names the outbidder for
+	// causal attribution.
+	var marginal Addr
+	if len(block) > 0 {
+		marginal = block[len(block)-1].tx.Sender
+	}
 	inAuction := make(map[string]bool)
 	dealWon := make(map[string]bool)
 	for _, b := range ready {
@@ -402,6 +410,11 @@ func (c *Chain) produceAuctionBlock() {
 			dealWon[b.deal] = true
 		} else {
 			b.defers++
+			for _, tx := range b.txs {
+				tx.deferrals++
+				tx.pricedOut = true
+				tx.outbidBy = marginal
+			}
 			rec.Deferred = append(rec.Deferred, c.fate(b))
 		}
 	}
@@ -415,6 +428,9 @@ func (c *Chain) produceAuctionBlock() {
 	c.mempool = nil
 	for _, tx := range loose {
 		if !looseIncluded[tx] {
+			tx.deferrals++
+			tx.pricedOut = true
+			tx.outbidBy = marginal
 			c.mempool = append(c.mempool, tx)
 		}
 	}

@@ -58,8 +58,12 @@ type Tx struct {
 	// inclusion is strictly FIFO.
 	Tip uint64
 
-	seq       uint64   // arrival order for deterministic inclusion
-	arrivedAt sim.Time // mempool arrival, set by Submit's delivery
+	seq         uint64   // arrival order for deterministic inclusion
+	submittedAt sim.Time // publish time, set by Submit before any delay
+	arrivedAt   sim.Time // mempool arrival, set by Submit's delivery
+	deferrals   int      // blocks that deferred this arrived transaction
+	pricedOut   bool     // a deferral was a fee-market displacement
+	outbidBy    Addr     // sender of the marginal bid that displaced it
 }
 
 // Receipt reports the outcome of an executed transaction.
@@ -79,6 +83,20 @@ type Receipt struct {
 	// (zero on chains without a fee market).
 	BaseFee uint64
 	TipPaid uint64
+	// SubmittedAt is when the sender published the transaction; the gap
+	// to ArrivedAt is the submit/gossip leg of the network, the gap from
+	// ArrivedAt to Time the queueing leg. Causal tracing splits decision
+	// latency along exactly these seams.
+	SubmittedAt sim.Time
+	// Deferrals counts the blocks that bumped this transaction after it
+	// had arrived (capacity overflow, lost fee auctions, lost bundle
+	// auctions). PricedOut marks that at least one deferral was a
+	// fee-market displacement rather than plain capacity, and OutbidBy
+	// names the sender of the marginal bid that displaced it — the
+	// evidence causal tracing needs to blame an adversary for the wait.
+	Deferrals int
+	PricedOut bool
+	OutbidBy  Addr
 }
 
 // Queued is how long the transaction waited in the mempool before the
@@ -350,6 +368,7 @@ func (c *Chain) Submit(tx *Tx) {
 	c.submitMu.Lock()
 	tx.seq = c.txSeq
 	c.txSeq++
+	tx.submittedAt = c.sched.Now()
 	d := c.cfg.Delays.SubmitDelay(c.sched.Now(), c.rng)
 	c.sched.After(d, func() {
 		tx.arrivedAt = c.sched.Now()
@@ -473,6 +492,18 @@ func (c *Chain) produceBlock() {
 	if cap := c.cfg.MaxBlockTxs; cap > 0 && len(txs) > cap {
 		c.mempool = txs[cap:]
 		txs = txs[:cap]
+		// Mark the deferral on every bumped transaction. Under a fee
+		// market the marginal included bid is the cheapest one (the
+		// slice is tip-sorted); anything it strictly out-tipped was
+		// priced out, not merely capacity-queued.
+		marginal := txs[len(txs)-1]
+		for _, d := range c.mempool {
+			d.deferrals++
+			if c.fees != nil && d.Tip < marginal.Tip {
+				d.pricedOut = true
+				d.outbidBy = marginal.Sender
+			}
+		}
 	}
 	if len(txs) == 0 {
 		return
@@ -528,6 +559,10 @@ type execReceipt struct {
 func (c *Chain) includeTx(tx *Tx, now sim.Time, baseFee, tip uint64) *execReceipt {
 	rcpt := c.execute(tx, now)
 	rcpt.ArrivedAt = tx.arrivedAt
+	rcpt.SubmittedAt = tx.submittedAt
+	rcpt.Deferrals = tx.deferrals
+	rcpt.PricedOut = tx.pricedOut
+	rcpt.OutbidBy = tx.outbidBy
 	if c.fees != nil {
 		c.fees.Charge(tx.Label, tip)
 		rcpt.BaseFee = baseFee

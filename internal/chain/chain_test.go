@@ -724,3 +724,106 @@ func TestBlockCapacityQueuesOverflow(t *testing.T) {
 		}
 	}
 }
+
+// TestReceiptCarriesCausalSeams: a receipt records the full causal
+// timeline of its transaction — publish (SubmittedAt), mempool arrival
+// (ArrivedAt), inclusion (Time) — with each leg non-negative.
+func TestReceiptCarriesCausalSeams(t *testing.T) {
+	c, sched := testChain(t)
+	c.MustDeploy("ctr", &counter{})
+	var rcpt *Receipt
+	sched.At(5, func() {
+		c.Submit(&Tx{Sender: "alice", Contract: "ctr", Method: "inc", Label: "t",
+			OnReceipt: func(r *Receipt) { rcpt = r }})
+	})
+	sched.Run()
+	if rcpt == nil {
+		t.Fatal("no receipt delivered")
+	}
+	if rcpt.SubmittedAt != 5 {
+		t.Fatalf("SubmittedAt = %d, want the publish time 5", rcpt.SubmittedAt)
+	}
+	if rcpt.ArrivedAt < rcpt.SubmittedAt {
+		t.Fatalf("arrived (%d) before submitted (%d)", rcpt.ArrivedAt, rcpt.SubmittedAt)
+	}
+	if rcpt.Time < rcpt.ArrivedAt {
+		t.Fatalf("included (%d) before arrival (%d)", rcpt.Time, rcpt.ArrivedAt)
+	}
+	if rcpt.Deferrals != 0 || rcpt.PricedOut || rcpt.OutbidBy != "" {
+		t.Fatalf("uncongested tx marked deferred: %+v", rcpt)
+	}
+}
+
+// TestReceiptCountsCapacityDeferrals: on a capacity-limited chain
+// without a fee market, a bumped transaction counts its deferrals but
+// is never marked priced-out — the wait is plain block queueing.
+func TestReceiptCountsCapacityDeferrals(t *testing.T) {
+	sched := sim.NewScheduler()
+	c := New(Config{
+		ID:            "narrow",
+		BlockInterval: 10,
+		Delays:        SyncPolicy{Min: 1, Max: 1},
+		Schedule:      gas.DefaultSchedule(),
+		MaxBlockTxs:   1,
+	}, sched, sim.NewRNG(1))
+	c.MustDeploy("ctr", &counter{})
+	receipts := make([]*Receipt, 3)
+	for i := range receipts {
+		i := i
+		c.Submit(&Tx{Sender: "alice", Contract: "ctr", Method: "inc", Label: "t",
+			OnReceipt: func(r *Receipt) { receipts[i] = r }})
+	}
+	sched.Run()
+	for i, r := range receipts {
+		if r == nil {
+			t.Fatalf("tx %d has no receipt", i)
+		}
+		if r.Deferrals != i {
+			t.Fatalf("tx %d deferred %d times, want %d (one narrow block per interval)",
+				i, r.Deferrals, i)
+		}
+		if r.PricedOut || r.OutbidBy != "" {
+			t.Fatalf("capacity deferral marked as fee displacement: %+v", r)
+		}
+	}
+}
+
+// TestReceiptMarksFeeDisplacement: with a fee market, a transaction
+// bumped by higher bids is marked priced-out and names the marginal
+// bidder that displaced it.
+func TestReceiptMarksFeeDisplacement(t *testing.T) {
+	sched := sim.NewScheduler()
+	c := New(Config{
+		ID:            "fees",
+		BlockInterval: 10,
+		Delays:        SyncPolicy{Min: 1, Max: 1},
+		Schedule:      gas.DefaultSchedule(),
+		MaxBlockTxs:   1,
+		FeeMarket:     &feemarket.Config{Initial: 10},
+	}, sched, sim.NewRNG(1))
+	c.MustDeploy("ctr", &counter{})
+	var cheap, rich *Receipt
+	c.Submit(&Tx{Sender: "poor", Contract: "ctr", Method: "inc", Label: "t", Tip: 1,
+		OnReceipt: func(r *Receipt) { cheap = r }})
+	c.Submit(&Tx{Sender: "whale", Contract: "ctr", Method: "inc", Label: "t", Tip: 50,
+		OnReceipt: func(r *Receipt) { rich = r }})
+	sched.Run()
+	if cheap == nil || rich == nil {
+		t.Fatal("missing receipts")
+	}
+	if rich.Deferrals != 0 || rich.PricedOut {
+		t.Fatalf("winning bid marked deferred: %+v", rich)
+	}
+	if !cheap.PricedOut {
+		t.Fatalf("outbid tx not marked priced-out: %+v", cheap)
+	}
+	if cheap.OutbidBy != "whale" {
+		t.Fatalf("OutbidBy = %q, want whale", cheap.OutbidBy)
+	}
+	if cheap.Deferrals == 0 {
+		t.Fatal("outbid tx shows no deferrals")
+	}
+	if cheap.Time <= rich.Time {
+		t.Fatalf("outbid tx included at %d, not after the whale's %d", cheap.Time, rich.Time)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"xdeal/internal/escrow"
 	"xdeal/internal/gas"
 	"xdeal/internal/sim"
+	"xdeal/internal/trace"
 )
 
 // PhaseTimes records when each deal phase completed (absolute sim time;
@@ -66,6 +67,12 @@ type Result struct {
 	Fees *FeeSummary
 	// EndedAt is the simulation time when the run drained.
 	EndedAt sim.Time
+	// Attribution decomposes decision latency into cause buckets
+	// (protocol wait, block queueing, fee pricing-out, adversary,
+	// scheduling slack; see trace.Attribute). Computed post-hoc from
+	// retained receipts — always on, never perturbs the run — and nil
+	// when the deal never reached a decision.
+	Attribution *trace.Attribution
 }
 
 // evaluate computes the Result after the simulation drains.
@@ -133,6 +140,7 @@ func (w *World) evaluate() *Result {
 	w.checkSafety(r)
 	w.checkLiveness(r)
 	w.fillPhases(r)
+	r.Attribution = w.attribute(r)
 	return r
 }
 

@@ -331,6 +331,7 @@ func arenaRecord(globalIndex int, protocol string, out arena.DealOutcome, feesOn
 		DeltaTime: out.ArenaDelta,
 		EndedAt:   int64(r.EndedAt),
 		Spans:     newPhaseSpans(r.Phases, out.Spec.Delta),
+		CritPath:  newCritPathRecord(r.Attribution),
 	}
 	if feesOn {
 		// Per-deal fee attribution only; world totals, samples, and

@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xdeal/internal/trace"
+)
+
+// critPathBlock renders just the critical-path section of a sweep's
+// report at the given worker count.
+func critPathBlock(t *testing.T, workers int) string {
+	t.Helper()
+	opts := sweepOpts(60, workers)
+	rep, err := Sweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CriticalPath == nil || len(rep.CriticalPath.Slices) == 0 {
+		t.Fatal("sweep produced no critical-path block")
+	}
+	var buf bytes.Buffer
+	fprintCriticalPath(&buf, rep.CriticalPath)
+	return buf.String()
+}
+
+// TestCriticalPathBlockIndependentOfWorkerCount: the attribution
+// aggregation folds in deal-index order regardless of which worker ran
+// which deal, so the rendered block is byte-identical at any pool
+// size. Under -race this also exercises the post-hoc span derivation
+// for data races.
+func TestCriticalPathBlockIndependentOfWorkerCount(t *testing.T) {
+	want := critPathBlock(t, 1)
+	for _, workers := range []int{4, 16} {
+		if got := critPathBlock(t, workers); got != want {
+			t.Fatalf("critical-path block at %d workers diverges from serial run:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				workers, want, workers, got)
+		}
+	}
+	for _, bucket := range critBucketNames {
+		if !strings.Contains(want, bucket) {
+			t.Fatalf("rendered block lacks bucket %q:\n%s", bucket, want)
+		}
+	}
+}
+
+// TestCritPathRecordConservation: every decided deal's record conserves
+// its total exactly — the fleet-side restatement of the engine
+// invariant, checked across a mixed adversarial population.
+func TestCritPathRecordConservation(t *testing.T) {
+	opts := sweepOpts(60, 4)
+	g, err := NewGenerator(opts.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := RunJobs(g.Jobs(opts.Deals), 4)
+	decided := 0
+	for _, rec := range records {
+		if rec.CritPath == nil {
+			continue
+		}
+		decided++
+		cp := rec.CritPath
+		sum := cp.ProtocolWait + cp.BlockQueueing + cp.PricedOut + cp.Adversary + cp.Slack
+		if sum != cp.Total {
+			t.Fatalf("deal %d: buckets sum to %d, total %d: %+v", rec.Index, sum, cp.Total, cp)
+		}
+		if cp.Total <= 0 {
+			t.Fatalf("deal %d: non-positive total: %+v", rec.Index, cp)
+		}
+	}
+	if decided == 0 {
+		t.Fatal("no deal in the population carried an attribution")
+	}
+}
+
+// TestNewCritPathRecordNilSafe: undecided deals attribute nothing.
+func TestNewCritPathRecordNilSafe(t *testing.T) {
+	if rec := newCritPathRecord(nil); rec != nil {
+		t.Fatalf("nil attribution produced a record: %+v", rec)
+	}
+	if rec := newCritPathRecord(&trace.Attribution{}); rec != nil {
+		t.Fatalf("zero-total attribution produced a record: %+v", rec)
+	}
+	a := &trace.Attribution{ProtocolWait: 30, Adversary: 70, Total: 100}
+	rec := newCritPathRecord(a)
+	if rec == nil || rec.Total != 100 || rec.Adversary != 70 || rec.ProtocolWait != 30 {
+		t.Fatalf("record does not mirror the attribution: %+v", rec)
+	}
+}

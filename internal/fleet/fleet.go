@@ -103,6 +103,11 @@ type Record struct {
 	// when no phase completed (e.g. an errored build).
 	Spans *PhaseSpans `json:"spans,omitempty"`
 
+	// CritPath is the deal's decision-latency attribution (sim ticks,
+	// buckets summing exactly to total); nil when the deal never
+	// reached a decision.
+	CritPath *CritPathRecord `json:"crit_path,omitempty"`
+
 	// Fee carries the run's fee-market outcome; nil without a fee
 	// market.
 	Fee *FeeRecord `json:"fee,omitempty"`
@@ -137,6 +142,7 @@ func record(job Job, r *engine.Result) Record {
 		DeltaTime: r.Phases.InDelta(r.Phases.DecisionEnd, job.Spec.Delta),
 		EndedAt:   int64(r.EndedAt),
 		Spans:     newPhaseSpans(r.Phases, job.Spec.Delta),
+		CritPath:  newCritPathRecord(r.Attribution),
 	}
 	if r.Fees != nil {
 		fee := &FeeRecord{

@@ -193,4 +193,5 @@ func recordFlight(rec *obs.Recorder, r Record, p3 bool) {
 		rec.Record(r.EndedAt, "fleet", "error",
 			fmt.Sprintf("index=%d seed=%d %s", r.Index, r.Seed, r.Err))
 	}
+	recordFlightCrit(rec, r)
 }

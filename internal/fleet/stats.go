@@ -217,6 +217,13 @@ type Report struct {
 	// total), in Δ units. Nil only when no folded record carried spans.
 	Phases *PhasesBlock `json:"phases,omitempty"`
 
+	// CriticalPath attributes decision latency to cause buckets
+	// (protocol wait, block queueing, fee pricing-out, adversary,
+	// scheduling slack): per-bucket shares by protocol and adversary
+	// mix. Always on — computed post-hoc from retained receipts — and
+	// nil only when no folded deal reached a decision.
+	CriticalPath *CriticalPathBlock `json:"critical_path,omitempty"`
+
 	// Violations flags every Property 1–3 violation with its seed. A
 	// pathological population is truncated at maxViolations flags;
 	// ViolationsTruncated counts the overflow (still a dirty report).
@@ -782,6 +789,7 @@ type Aggregator struct {
 	hedge      *hedgeAgg            // nil unless EnableHedging armed the hedging block
 	bundles    *bundleAgg           // nil unless EnableBundles armed the bundle block
 	phases     map[string]*phaseAgg // protocol -> phase sketches, created on first span
+	crit       map[string]*critAgg  // protocol|mix -> attribution sketches, created on first decided deal
 	metrics    *obs.Registry        // nil unless EnableObs attached a registry
 	flight     *obs.Recorder        // nil unless EnableObs attached a recorder
 }
@@ -832,6 +840,7 @@ func (a *Aggregator) Add(r Record) {
 		}
 		p.add(r.Spans)
 	}
+	a.addCrit(r)
 	if r.Fee != nil && a.fees != nil {
 		f := a.fees
 		f.burned += r.Fee.Burned
@@ -892,6 +901,7 @@ func (a *Aggregator) Report() *Report {
 		}
 		a.rep.Phases = pb
 	}
+	a.rep.CriticalPath = a.criticalPath()
 	if a.fees != nil {
 		a.rep.OrderingGames = a.fees.orderingGames()
 	}
@@ -993,6 +1003,10 @@ func (rep *Report) Fprint(w io.Writer) {
 			}
 		}
 		ptw.Flush()
+	}
+
+	if cb := rep.CriticalPath; cb != nil {
+		fprintCriticalPath(w, cb)
 	}
 
 	if inf := rep.Interference; inf != nil {

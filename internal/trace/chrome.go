@@ -1,0 +1,120 @@
+// Chrome trace-event export: any deal's multi-chain interleaving opens
+// in ui.perfetto.dev (or chrome://tracing). One process, one thread per
+// track; spans become "X" complete events and every happens-before edge
+// becomes an "s"→"f" flow arrow, so the causal DAG is visible on the
+// timeline. Sim ticks are written as microseconds.
+//
+// The output is byte-deterministic: tracks are sorted, events are
+// emitted in span order, and every object is a struct with a fixed
+// field order — the golden test diffs the bytes.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one trace-event object. Optional fields are pointers
+// so that meaningful zeros (a zero-duration span) still serialize.
+type chromeEvent struct {
+	Ph   string      `json:"ph"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Ts   int64       `json:"ts"`
+	Dur  *int64      `json:"dur,omitempty"`
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	ID   *int        `json:"id,omitempty"`
+	BP   string      `json:"bp,omitempty"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs carries the span annotations into the Perfetto side panel.
+type chromeArgs struct {
+	Name   string `json:"name,omitempty"`
+	Deal   string `json:"deal,omitempty"`
+	Bucket string `json:"bucket,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// WriteChromeTrace serializes the span DAG in Chrome trace-event JSON.
+// Thread-name metadata events name one lane per track, "X" events carry
+// the spans, and "s"/"f" flow pairs draw the happens-before edges.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	tidOf := map[string]int{}
+	var tracks []string
+	for _, s := range spans {
+		if _, ok := tidOf[s.Track]; !ok {
+			tidOf[s.Track] = 0
+			tracks = append(tracks, s.Track)
+		}
+	}
+	sort.Strings(tracks)
+	for i, tr := range tracks {
+		tidOf[tr] = i + 1
+	}
+
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = w.Write(b)
+		return err
+	}
+
+	for _, tr := range tracks {
+		if err := emit(chromeEvent{
+			Ph: "M", Pid: 1, Tid: tidOf[tr], Name: "thread_name",
+			Args: &chromeArgs{Name: tr},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, s := range spans {
+		dur := int64(s.Duration())
+		args := &chromeArgs{Deal: s.Deal, Bucket: s.Bucket.String(), Detail: s.Detail}
+		if err := emit(chromeEvent{
+			Ph: "X", Pid: 1, Tid: tidOf[s.Track], Ts: int64(s.Start), Dur: &dur,
+			Name: s.Name, Cat: s.Kind, Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+	edge := 0
+	for _, s := range spans {
+		for _, p := range s.Parents {
+			if p < 0 || p >= len(spans) {
+				continue
+			}
+			edge++
+			id := edge
+			parent := spans[p]
+			if err := emit(chromeEvent{
+				Ph: "s", Pid: 1, Tid: tidOf[parent.Track], Ts: int64(parent.End),
+				Name: "causal", Cat: "causal", ID: &id,
+			}); err != nil {
+				return err
+			}
+			if err := emit(chromeEvent{
+				Ph: "f", Pid: 1, Tid: tidOf[s.Track], Ts: int64(s.Start),
+				Name: "causal", Cat: "causal", ID: &id, BP: "e",
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// failWriter rejects every write; used to assert error propagation.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("writer down") }
+
+// fixtureSpans is a small two-chain deal with every span kind, a
+// happens-before edge, and each attribution bucket represented.
+func fixtureSpans() []Span {
+	return []Span{
+		{ID: 0, Deal: "deal-7", Track: "coinchain", Kind: KindSubmit, Name: "escrow.deposit by bob",
+			Start: 0, End: 6, Bucket: BucketProtocolWait},
+		{ID: 1, Deal: "deal-7", Track: "coinchain", Kind: KindQueued, Name: "escrow.deposit by bob",
+			Start: 6, End: 24, Bucket: BucketBlockQueueing, Parents: []int{0}, Detail: "height=2 tip=0"},
+		{ID: 2, Deal: "deal-7", Track: "ticketchain", Kind: KindQueued, Name: "escrow.deposit by alice",
+			Start: 9, End: 40, Bucket: BucketPricedOut, Detail: "deferrals=1 outbid-by=eve"},
+		{ID: 3, Deal: "deal-7", Track: "ticketchain", Kind: KindQueued, Name: "transfer by alice",
+			Start: 41, End: 70, Bucket: BucketAdversary, Parents: []int{2}, Detail: "deferrals=2 outbid-by=eve"},
+		{ID: 4, Deal: "deal-7", Track: "deal", Kind: KindPhase, Name: "decision",
+			Start: 70, End: 84, Parents: []int{3, 1}},
+	}
+}
+
+// TestWriteChromeTraceGolden pins the exporter's byte-exact output
+// (field order, element order, escaping) against the committed golden.
+// Regenerate with: go test ./internal/trace -run ChromeTrace -update
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixtureSpans()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_chrome_trace.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden; run with -update if intended.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteChromeTraceValidJSON: the exact bytes parse as the trace-event
+// envelope Perfetto expects — an object with a traceEvents array whose
+// entries all carry ph/pid/tid.
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixtureSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// 3 thread names + 5 spans + 4 edges × 2 flow events.
+	if got, want := len(doc.TraceEvents), 3+5+8; got != want {
+		t.Fatalf("events = %d, want %d", got, want)
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "" || ev.Pid == 0 || ev.Tid == 0 {
+			t.Fatalf("malformed event: %+v", ev)
+		}
+		phases[ev.Ph]++
+	}
+	if phases["M"] != 3 || phases["X"] != 5 || phases["s"] != 4 || phases["f"] != 4 {
+		t.Fatalf("phase counts = %v", phases)
+	}
+}
+
+// TestWriteChromeTraceEmpty: zero spans still produce a valid document.
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON for empty trace: %v\n%s", err, buf.String())
+	}
+}
+
+// TestWriteChromeTraceSkipsBogusParents: out-of-range parent indices are
+// dropped rather than emitting dangling flow arrows.
+func TestWriteChromeTraceSkipsBogusParents(t *testing.T) {
+	spans := []Span{{ID: 0, Track: "c", Kind: KindQueued, Name: "x", Start: 0, End: 1, Parents: []int{-1, 99}}}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"ph":"s"`)) {
+		t.Fatalf("flow event emitted for bogus parent:\n%s", buf.String())
+	}
+}
+
+func TestWriteChromeTracePropagatesWriteErrors(t *testing.T) {
+	if err := WriteChromeTrace(failWriter{}, fixtureSpans()); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+// TestFprintPropagatesWriteErrors covers the satellite fix: Fprint used
+// to discard fmt.Fprintf errors.
+func TestFprintPropagatesWriteErrors(t *testing.T) {
+	l := New()
+	l.Add(1, "a", "k", "d")
+	if err := l.Fprint(failWriter{}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+	var buf bytes.Buffer
+	if err := l.Fprint(&buf); err != nil {
+		t.Fatalf("healthy writer errored: %v", err)
+	}
+}
+
+// TestEventSeqExported: external tooling can stably merge concatenated
+// logs by (At, Seq) — the same order Events uses.
+func TestEventSeqExported(t *testing.T) {
+	l := New()
+	l.Add(30, "b", "x", "later")
+	l.Add(10, "a", "x", "earlier")
+	ev := l.Events()
+	if ev[0].Seq != 1 || ev[1].Seq != 0 {
+		t.Fatalf("Seq not carried through Events: %+v", ev)
+	}
+}

@@ -18,13 +18,15 @@ import (
 	"xdeal/internal/sim"
 )
 
-// Event is one recorded protocol observation.
+// Event is one recorded protocol observation. Seq is the arrival index
+// within the log; external tooling can merge concatenated logs and
+// re-sort them exactly the way Events does (At, then Seq).
 type Event struct {
 	At     sim.Time
 	Source string // e.g. "coinchain", "cbc", "engine"
 	Kind   string // e.g. "escrowed", "vote-accepted", "committed"
 	Detail string
-	seq    int
+	Seq    int
 }
 
 // Log collects events in arrival order. Safe for concurrent use, although
@@ -43,7 +45,7 @@ func New() *Log { return &Log{} }
 func (l *Log) Add(at sim.Time, source, kind, detail string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.events = append(l.events, Event{At: at, Source: source, Kind: kind, Detail: detail, seq: l.next})
+	l.events = append(l.events, Event{At: at, Source: source, Kind: kind, Detail: detail, Seq: l.next})
 	l.next++
 }
 
@@ -70,7 +72,7 @@ func (l *Log) Events() []Event {
 		if out[i].At != out[j].At {
 			return out[i].At < out[j].At
 		}
-		return out[i].seq < out[j].seq
+		return out[i].Seq < out[j].Seq
 	})
 	return out
 }
@@ -90,15 +92,18 @@ func (l *Log) Filter(kinds ...string) []Event {
 	return out
 }
 
-// Fprint renders the log as an aligned timeline.
-func (l *Log) Fprint(w io.Writer) {
+// Fprint renders the log as an aligned timeline. The first writer error
+// stops the rendering and is returned.
+func (l *Log) Fprint(w io.Writer) error {
 	for _, e := range l.Events() {
-		fmt.Fprintf(w, "t=%6d  %-12s %-16s %s\n", e.At, e.Source, e.Kind, e.Detail)
+		if _, err := fmt.Fprintf(w, "t=%6d  %-12s %-16s %s\n", e.At, e.Source, e.Kind, e.Detail); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-// jsonEvent fixes the JSONL field order; seq is exported here so tools
-// can re-sort a concatenation of logs the same way Events does.
+// jsonEvent fixes the JSONL field order.
 type jsonEvent struct {
 	At     int64  `json:"at"`
 	Seq    int    `json:"seq"`
@@ -113,7 +118,7 @@ type jsonEvent struct {
 func (l *Log) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for _, e := range l.Events() {
-		ev := jsonEvent{At: int64(e.At), Seq: e.seq, Source: e.Source, Kind: e.Kind, Detail: e.Detail}
+		ev := jsonEvent{At: int64(e.At), Seq: e.Seq, Source: e.Source, Kind: e.Kind, Detail: e.Detail}
 		if err := enc.Encode(ev); err != nil {
 			return err
 		}
