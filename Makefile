@@ -19,10 +19,10 @@ vet:
 	$(GO) vet -vettool=$(CURDIR)/bin/xdealvet ./...
 
 # Refresh the committed throughput snapshot for the given PR number
-# (make bench-snapshot PR=8 writes BENCH_pr8.json). Wall-clock, stage,
+# (make bench-snapshot PR=9 writes BENCH_pr9.json). Wall-clock, stage,
 # and allocation fields vary by machine; the latency/gas percentiles
 # are seed-deterministic.
-PR ?= 8
+PR ?= 9
 bench-snapshot:
 	$(GO) run ./cmd/dealsweep -deals 512 -workers 0 -seed 7 -bench-json > BENCH_pr$(PR).json
 	@cat BENCH_pr$(PR).json

@@ -110,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	adversaryRate := fs.Float64("adversary-rate", 0.3, "probability each party deviates [0, 1]")
 	dosRate := fs.Float64("dos-rate", 0.15, "probability a run includes a DoS outage window [0, 1] (isolated mode)")
 	maxParties := fs.Int("max-parties", 6, "largest generated deal size")
+	serializeRounds := fs.Bool("serialize-rounds", false, "gate each party's rounds strictly (escrow confirm before transfers, transfers before votes) instead of pipelining; same seeds generate the same deals either way")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of tables")
 	benchJSON := fs.Bool("bench-json", false, "emit a throughput snapshot (deals/sec, p99 decision latency) as JSON instead of the report")
 	replayIndex := fs.Int("replay", -1, "re-run this deal index from the sweep in full detail")
@@ -216,11 +217,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail("-explain and -chrome-trace need an isolated replay (arena chains interleave many deals; drop -arena to trace one)")
 	}
 	gen := fleet.GenOptions{
-		Seed:          *seed,
-		Protocol:      *protocol,
-		AdversaryRate: *adversaryRate,
-		DoSRate:       *dosRate,
-		MaxParties:    *maxParties,
+		Seed:            *seed,
+		Protocol:        *protocol,
+		AdversaryRate:   *adversaryRate,
+		DoSRate:         *dosRate,
+		MaxParties:      *maxParties,
+		SerializeRounds: *serializeRounds,
 	}
 	if *feeMarket {
 		gen.Fees = &fleet.FeeOptions{BaseFee: *baseFee, TipBudget: *tipBudget}
@@ -556,6 +558,9 @@ func replayCommand(opts fleet.Options) string {
 	g := opts.Gen
 	cmd := fmt.Sprintf("dealsweep -seed %d -deals %d -protocol %s -adversary-rate %v -dos-rate %v -max-parties %d",
 		g.Seed, opts.Deals, g.Protocol, g.AdversaryRate, g.DoSRate, g.MaxParties)
+	if g.SerializeRounds {
+		cmd += " -serialize-rounds"
+	}
 	if f := g.Fees; f != nil {
 		cmd += fmt.Sprintf(" -feemarket -base-fee %d -tip-budget %d", f.BaseFee, f.TipBudget)
 	}

@@ -543,3 +543,25 @@ func TestWriteViolationTrace(t *testing.T) {
 		t.Fatalf("violation trace written without a flight record: %s", quiet.String())
 	}
 }
+
+// TestSerializeRoundsFlagRoundTrips: the round-gating ablation flag
+// must parse, run clean, and survive into the replay command, so a
+// violation flagged under -serialize-rounds replays under it too.
+func TestSerializeRoundsFlagRoundTrips(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-deals", "2", "-seed", "5", "-serialize-rounds", "-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	gated := fleet.Options{Deals: 2, Gen: fleet.GenOptions{
+		Seed: 5, Protocol: "mixed", AdversaryRate: 0.3, DoSRate: 0.15,
+		MaxParties: 6, SerializeRounds: true,
+	}}
+	if cmd := replayCommand(gated); !strings.Contains(cmd, "-serialize-rounds") {
+		t.Fatalf("replay command %q drops -serialize-rounds", cmd)
+	}
+	gated.Gen.SerializeRounds = false
+	if cmd := replayCommand(gated); strings.Contains(cmd, "-serialize-rounds") {
+		t.Fatalf("default (pipelined) replay command %q claims -serialize-rounds", cmd)
+	}
+}

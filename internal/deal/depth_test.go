@@ -1,0 +1,78 @@
+package deal
+
+import (
+	"testing"
+
+	"xdeal/internal/chain"
+)
+
+// Rings relay votes against the ring, one hop per party, so the depth
+// is the full party count — the static worst case is tight.
+func TestVoteDepthRing(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		if d := RingSpec(n, 3000, 1000).VoteDepth(); d != n {
+			t.Fatalf("ring-%d depth = %d, want %d", n, d, n)
+		}
+	}
+}
+
+// In the broker family every party touches every escrow, so any vote
+// reaches any contract in one forwarding hop: depth 2 regardless of how
+// many intermediaries the chain has.
+func TestVoteDepthBrokerAndDense(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *Spec
+	}{
+		{"broker", BrokerSpec(2000, 1000)},
+		{"brokerchain-1", BrokerChainSpec(1, 50, 5, 3000, 1000)},
+		{"brokerchain-3", BrokerChainSpec(3, 50, 5, 3000, 1000)},
+		{"dense-4x2", DenseSpec(4, 2, 3000, 1000)},
+		{"dense-6x3", DenseSpec(6, 3, 3000, 1000)},
+	}
+	for _, c := range cases {
+		if d := c.spec.VoteDepth(); d != 2 {
+			t.Errorf("%s depth = %d, want 2", c.name, d)
+		}
+	}
+	// The auction needs one more rung: the loser never touches the
+	// ticket chain, so the winner's vote reaches it only after the
+	// seller relays it onto the coin escrow.
+	if d := AuctionSpec(3000, 1000, 60, 40).VoteDepth(); d != 3 {
+		t.Errorf("auction depth = %d, want 3", d)
+	}
+}
+
+// A party with no incoming escrow gives vote relay nothing to aim at;
+// the depth falls back to the worst case N so the refund floor never
+// tightens on an ill-formed digraph.
+func TestVoteDepthNoIncomingFallsBack(t *testing.T) {
+	asset := AssetRef{Chain: "c0", Token: "tok", Escrow: "esc", Kind: Fungible, Amount: 5}
+	spec := &Spec{
+		ID:      "one-way",
+		Parties: []chain.Addr{"a", "b", "c"},
+		Transfers: []Transfer{
+			{From: "a", To: "b", Asset: asset},
+			{From: "b", To: "c", Asset: asset},
+			// "a" receives nothing: no incoming escrow.
+		},
+		T0:    3000,
+		Delta: 1000,
+	}
+	if d := spec.VoteDepth(); d != 3 {
+		t.Fatalf("depth = %d, want fallback 3", d)
+	}
+}
+
+// The depth is clamped below by 2 — even a deal so degenerate its relay
+// graph is complete still needs the vote round plus one forwarding
+// rung — and n <= 2 deals need exactly n.
+func TestVoteDepthSmallDeals(t *testing.T) {
+	if d := RingSpec(2, 3000, 1000).VoteDepth(); d != 2 {
+		t.Fatalf("swap depth = %d, want 2", d)
+	}
+	single := &Spec{ID: "solo", Parties: []chain.Addr{"a"}, T0: 100, Delta: 10}
+	if d := single.VoteDepth(); d != 1 {
+		t.Fatalf("singleton depth = %d, want 1", d)
+	}
+}

@@ -56,6 +56,11 @@ type Options struct {
 	Censor map[chain.Addr]bool
 	// Patience is the CBC give-up timer; defaults to 10Δ.
 	Patience sim.Duration
+	// SerializeRounds restores the strict escrow-confirm → transfer →
+	// validate → vote sequencing on every party (the paper's Δ-round
+	// presentation; the pre-pipelining behavior). Default off: parties
+	// pipeline their submissions and let receipts arbitrate.
+	SerializeRounds bool
 	// BlockInterval for all chains; defaults to 10 ticks.
 	BlockInterval sim.Duration
 	// RunLimit caps simulated time; 0 runs to quiescence.
@@ -476,18 +481,19 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 	for i, addr := range spec.Parties {
 		addr := addr
 		cfg := party.Config{
-			Spec:        spec,
-			Protocol:    opts.Protocol,
-			Chains:      w.Chains,
-			Sched:       sched,
-			Keys:        w.keys[string(addr)],
-			Behavior:    opts.Behaviors[addr],
-			Patience:    patience,
-			LabelPrefix: opts.LabelPrefix,
-			Fees:        fees,
-			Adaptive:    opts.Adaptive,
-			Hedge:       hedgeCfg,
-			Bundle:      bundleCfg,
+			Spec:            spec,
+			Protocol:        opts.Protocol,
+			Chains:          w.Chains,
+			Sched:           sched,
+			Keys:            w.keys[string(addr)],
+			Behavior:        opts.Behaviors[addr],
+			Patience:        patience,
+			SerializeRounds: opts.SerializeRounds,
+			LabelPrefix:     opts.LabelPrefix,
+			Fees:            fees,
+			Adaptive:        opts.Adaptive,
+			Hedge:           hedgeCfg,
+			Bundle:          bundleCfg,
 			OnValidated: func(p chain.Addr, at sim.Time) {
 				w.validatedAt[p] = at
 			},

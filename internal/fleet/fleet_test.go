@@ -48,7 +48,7 @@ func renderedReport(t *testing.T, opts Options) string {
 // exercises the pool for data races.
 func TestFleetDeterministicAcrossWorkerCounts(t *testing.T) {
 	want := renderedReport(t, sweepOpts(60, 1))
-	for _, workers := range []int{2, 4, 8} {
+	for _, workers := range []int{2, 4, 16} {
 		if got := renderedReport(t, sweepOpts(60, workers)); got != want {
 			t.Fatalf("report at %d workers diverges from serial run:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
 				workers, want, workers, got)
@@ -445,5 +445,52 @@ func TestReportRendering(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestSerializedSeedTwins: SerializeRounds consumes no randomness, so a
+// serialized population's deals are exact seed twins of the pipelined
+// default — same shapes, same adversary draws, same outages. On a
+// compliant-only mix the pipelining must be behavior-preserving, not
+// just safe: every twin pair must reach the identical commit/abort
+// outcome, the rounds only overlapping in time.
+func TestSerializedSeedTwins(t *testing.T) {
+	base := GenOptions{Seed: 21, Protocol: "mixed", AdversaryRate: 0, DoSRate: 0}
+	serial := base
+	serial.SerializeRounds = true
+	gp, err := NewGenerator(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := NewGenerator(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const deals = 40
+	pipelined := RunJobs(gp.Jobs(deals), 4)
+	serialized := RunJobs(gs.Jobs(deals), 4)
+	var meanP, meanS float64
+	for i := range pipelined {
+		p, s := pipelined[i], serialized[i]
+		if p.SpecID != s.SpecID || p.Shape != s.Shape || p.Protocol != s.Protocol {
+			t.Fatalf("job %d not a seed twin: pipelined %s/%s/%s vs serialized %s/%s/%s",
+				i, p.SpecID, p.Shape, p.Protocol, s.SpecID, s.Shape, s.Protocol)
+		}
+		if p.Committed != s.Committed || p.Aborted != s.Aborted {
+			t.Errorf("job %d (%s, %s): pipelined committed=%v aborted=%v, serialized committed=%v aborted=%v",
+				i, p.SpecID, p.Protocol, p.Committed, p.Aborted, s.Committed, s.Aborted)
+		}
+		if len(p.SafetyViolations)+len(p.LivenessViolations) > 0 {
+			t.Errorf("job %d pipelined violations: %v %v", i, p.SafetyViolations, p.LivenessViolations)
+		}
+		meanP += p.DeltaTime
+		meanS += s.DeltaTime
+	}
+	// Individual deals may pay a block or two for an optimistic transfer
+	// that sorted ahead of its funding deposit; the population must
+	// still decide no later on average than its strictly gated twin.
+	if meanP > meanS {
+		t.Errorf("pipelined population decides slower on average: %.3fΔ vs serialized %.3fΔ",
+			meanP/deals, meanS/deals)
 	}
 }

@@ -35,6 +35,12 @@ type GenOptions struct {
 	// MaxParties caps ring/dense/random deal sizes; minimum 3,
 	// default 6. Rings still start at 2 parties (the swap case).
 	MaxParties int
+	// SerializeRounds runs every generated world with the strict
+	// escrow → transfer → validate → vote round gating (the
+	// pre-pipelining party drivers). The flag consumes no randomness,
+	// so a serialized population's deals are exact seed twins of the
+	// pipelined default — same shapes, same adversaries, same outages.
+	SerializeRounds bool
 	// Fees, when non-nil, enables fee markets across the sweep: every
 	// world's chains gain tip-ordered blocks with an EIP-1559 base fee,
 	// isolated worlds get a block-capacity cap so ordering matters, and
@@ -132,7 +138,7 @@ func (g *Generator) Job(i int) Job {
 			proto = "cbc"
 		}
 	}
-	opts := engine.Options{Seed: rng.Uint64()}
+	opts := engine.Options{Seed: rng.Uint64(), SerializeRounds: g.opts.SerializeRounds}
 	if proto == "cbc" {
 		opts.Protocol = party.ProtoCBC
 		opts.F = 1 + rng.Intn(3)

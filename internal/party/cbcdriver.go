@@ -30,8 +30,12 @@ type CBCHooks struct {
 
 // cbcState is the CBC driver's bookkeeping.
 type cbcState struct {
-	started       bool
-	startHash     [32]byte
+	started   bool
+	startHash [32]byte
+	// votedCommit records that a commit vote was published;
+	// votedCommitAt alone cannot, because sim time starts at 0 and a
+	// vote stamped t=0 is indistinguishable from "never voted".
+	votedCommit   bool
 	votedCommitAt sim.Time
 	votedAbort    bool
 	claimed       map[string]bool
@@ -130,6 +134,7 @@ func (p *Party) sendCBCVote(commit bool) {
 		Kind: kind, Deal: p.cfg.Spec.ID, Party: p.Addr, Hash: st.startHash,
 	})
 	if commit {
+		st.votedCommit = true
 		st.votedCommitAt = p.cfg.Sched.Now()
 		if b.CommitThenAbort > 0 {
 			p.cfg.Sched.After(b.CommitThenAbort, func() {
@@ -161,7 +166,7 @@ func (p *Party) scheduleGiveUp() {
 		if d == nil || d.Status != escrow.StatusActive {
 			return // decided; nothing to rescind
 		}
-		if st.votedCommitAt > 0 {
+		if st.votedCommit {
 			earliest := st.votedCommitAt + sim.Time(p.cfg.Spec.Delta)
 			if p.cfg.Sched.Now() < earliest {
 				p.cfg.Sched.At(earliest, fire)

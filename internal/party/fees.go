@@ -57,14 +57,15 @@ func (f DeadlineFee) Tip(_ uint64, _ string, urgency float64) uint64 {
 	return f.Start + uint64(float64(f.Max-f.Start)*urgency+0.5)
 }
 
-// timelockHorizon is the deal's overall timelock deadline t0 + (N+1)·Δ
-// (the same horizon the refund poke uses) — the moment past which the
-// escrows refund regardless, so protocol work included later is
-// worthless. Both the fee/bid escalation (urgency) and the bundle
+// timelockHorizon is the deal's overall timelock deadline t0 + (D+1)·Δ,
+// where D is the deal digraph's relay depth (Spec.VoteDepth) — the
+// contract refund floor plus one Δ of poke margin, past which protocol
+// work included on chain is worthless. The refund poke fires exactly
+// here, and both the fee/bid escalation (urgency) and the bundle
 // deadline reported to auctions measure against this one horizon.
 func (p *Party) timelockHorizon() sim.Time {
 	spec := p.cfg.Spec
-	return spec.T0 + sim.Time(len(spec.Parties)+1)*spec.Delta
+	return spec.T0 + sim.Time(p.dealDepth()+1)*spec.Delta
 }
 
 // urgency is the party's deadline pressure: how far it is through the

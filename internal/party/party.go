@@ -65,8 +65,13 @@ type Behavior struct {
 	// CorruptInfo registers the deal at escrow contracts with wrong
 	// Dinfo, trying to poison the contract state other parties validate.
 	CorruptInfo bool
-	// EscrowShortfall escrows this much less than owed (fungible), or
-	// withholds one token (non-fungible).
+	// EscrowShortfall makes the party under-escrow. Semantics are per
+	// leg, not a per-deal total: every fungible obligation is shorted by
+	// this amount independently (a party owing at two escrows shorts
+	// both), and a leg no larger than the shortfall is withheld
+	// entirely. Non-fungible obligations withhold one token per escrow
+	// instead. The ranged obligation is copied before adjustment, so the
+	// Spec's own obligation accounting is never mutated.
 	EscrowShortfall uint64
 
 	// Timelock-specific deviations.
@@ -163,6 +168,14 @@ type Config struct {
 	// commit before rescinding with an abort vote. Compliance requires
 	// Patience ≥ Δ (§6); the engine sets a comfortable default.
 	Patience sim.Duration
+	// SerializeRounds restores the strict escrow-confirm → transfer →
+	// validate → vote sequencing of the paper's Δ-round presentation.
+	// Off by default: compliant parties pipeline their submissions —
+	// transfers ride on tentative in-flight deposits, validation runs
+	// concurrently with outstanding transfers, and receipts arbitrate —
+	// which the safety argument permits because claims verify on-chain
+	// state post-hoc.
+	SerializeRounds bool
 	// LabelPrefix prefixes every transaction label the party emits, so
 	// gas stays attributable per deal on chains shared by many deals.
 	LabelPrefix string
@@ -208,6 +221,15 @@ type Party struct {
 	crashed   bool
 	validated bool
 	voted     bool
+
+	// escrowInfo is the (uncorrupted) Dinfo the party registers with,
+	// retained so a failure-driven re-drive can resubmit escrows.
+	escrowInfo any
+	// redriveArmed dedups the failure-driven retry timer (see
+	// scheduleRedrive): at most one pending re-drive at a time.
+	redriveArmed bool
+	// voteDepth memoizes Spec.VoteDepth (0 = not yet computed).
+	voteDepth int
 
 	// Outgoing transfer tracking: index into Spec.Transfers.
 	submitted map[int]bool // submitted and not known failed
@@ -308,6 +330,7 @@ func (p *Party) wake() {
 	}
 	p.tryTransfers()
 	p.checkValidation()
+	p.maybeVote()
 	if p.cfg.Protocol == ProtoCBC && p.cbcState != nil && p.cbcState.started {
 		if d := p.cfg.CBCHooks.CBC.Deal(p.cfg.Spec.ID); d != nil && d.Status != escrow.StatusActive {
 			p.claimOutcome(d.Status, false, 0)
@@ -462,6 +485,7 @@ func (p *Party) performEscrows(info any) {
 	if p.cfg.Behavior.SkipEscrow || !p.active() || p.backedOut() {
 		return
 	}
+	p.escrowInfo = info // pre-corruption, so a re-drive re-corrupts identically
 	if p.cfg.Behavior.CorruptInfo {
 		info = corruptInfo(info)
 	}
@@ -501,14 +525,22 @@ func (p *Party) performEscrows(info any) {
 		}, func(r *chain.Receipt) {
 			if r.Err != nil {
 				p.escrowSubmitted[key] = false // allow retry on next event
+				p.scheduleRedrive()            // ...and guarantee one happens
 				return
 			}
 			p.escrowConfirmed[key] = true
 			if p.active() {
 				p.tryTransfers()
 				p.checkValidation()
+				p.maybeVote()
 			}
 		})
+	}
+	if !p.cfg.SerializeRounds {
+		// Pipelined round: outgoing transfers ride on the tentative
+		// holdings of the deposits just published instead of waiting for
+		// the escrow confirmation round-trip.
+		p.tryTransfers()
 	}
 }
 
@@ -528,19 +560,33 @@ func (p *Party) tryTransfers() {
 		}
 		i, t := i, t
 		key := t.Asset.Key()
+		// The pipelined window: the party's own deposit at this escrow is
+		// published but unconfirmed. Its tentative holdings count toward
+		// affordability — if the in-flight deposit is rejected the
+		// transfer fails with an error receipt and the re-drive retries
+		// both, so optimism costs a retry, never safety.
+		pendingEscrow := !p.cfg.SerializeRounds &&
+			p.escrowSubmitted[key] && !p.escrowConfirmed[key]
 		view, ok := p.escrowView(t.Asset)
-		if !ok || !view.Exists {
+		if !ok {
+			continue
+		}
+		if !view.Exists && !pendingEscrow {
 			continue
 		}
 		affordable := false
 		if t.Asset.Kind == deal.Fungible {
 			have := view.OnCommit[p.Addr]
+			if pendingEscrow {
+				have += p.pendingEscrowAmount(key)
+			}
 			if have >= reserved[key]+t.Asset.Amount {
 				affordable = true
 				reserved[key] += t.Asset.Amount
 			}
 		} else {
-			if view.CommitOwner[t.Asset.ID] == p.Addr {
+			if view.CommitOwner[t.Asset.ID] == p.Addr ||
+				(pendingEscrow && p.pendingEscrowToken(key, t.Asset.ID)) {
 				affordable = true
 			}
 		}
@@ -557,14 +603,59 @@ func (p *Party) tryTransfers() {
 		p.submit(t.Asset, escrow.MethodTransfer, LabelTransfer, args, func(r *chain.Receipt) {
 			if r.Err != nil {
 				p.submitted[i] = false
+				// Retry on the rejection receipt itself: the usual cause is
+				// the party's own deposit sorting after the optimistic
+				// transfer inside one block, and by the time the receipt
+				// arrives that deposit has landed — waiting for the Δ-spaced
+				// re-drive would stall an otherwise-ready deal. The re-drive
+				// stays armed as the backstop for rejections whose cause
+				// outlives this block. Horizon-gated like the re-drive: a
+				// permanently rejected transfer must not resubmit every
+				// block forever and keep the scheduler alive past the point
+				// where the protocol could still use it.
+				if p.active() && p.retryLive() {
+					p.tryTransfers()
+				}
+				p.scheduleRedrive()
 				return
 			}
 			p.confirmed[i] = true
 			if p.active() {
 				p.checkValidation()
+				p.maybeVote()
 			}
 		})
 	}
+}
+
+// pendingEscrowAmount is the fungible credit the party's own in-flight
+// escrow submission will add at this escrow once it lands. A shortfall
+// deviant's actual deposit may be smaller; the over-estimate only makes
+// it submit transfers the contract then rejects, bounded by the retry
+// horizon.
+func (p *Party) pendingEscrowAmount(key string) uint64 {
+	for _, ob := range p.cfg.Spec.EscrowObligations(p.Addr) {
+		if ob.Asset.Key() == key {
+			return ob.Amount
+		}
+	}
+	return 0
+}
+
+// pendingEscrowToken reports whether the party's in-flight escrow
+// submission at this escrow carries the given token.
+func (p *Party) pendingEscrowToken(key, id string) bool {
+	for _, ob := range p.cfg.Spec.EscrowObligations(p.Addr) {
+		if ob.Asset.Key() != key {
+			continue
+		}
+		for _, tok := range ob.Tokens {
+			if tok == id {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // outgoingDone reports whether all of the party's outgoing duties are
@@ -583,9 +674,14 @@ func (p *Party) outgoingDone() bool {
 	return true
 }
 
-// checkValidation runs the validation phase (§4.1): the party checks that
-// its incoming assets are properly escrowed and the deal information is
-// correct, then votes to commit.
+// checkValidation runs the validation phase (§4.1): the party checks
+// that its incoming assets are properly escrowed and the deal
+// information is correct. Pipelined (the default), it runs concurrently
+// with the party's own in-flight escrows and transfers, using a
+// conservative arrival bound that can never overstate what reached the
+// contract; under SerializeRounds it keeps the paper's strict gating on
+// the party's own confirmed duties. The verdict feeds maybeVote, which
+// still waits for the last outgoing receipt before any vote is cast.
 func (p *Party) checkValidation() {
 	if p.validated || !p.active() || p.backedOut() {
 		return
@@ -595,7 +691,8 @@ func (p *Party) checkValidation() {
 		// deviating one may still vote; modeled under SkipVoting=false.
 		_ = 0
 	}
-	if !p.outgoingDone() && !p.cfg.Behavior.SkipEscrow && !p.cfg.Behavior.SkipTransfers {
+	if p.cfg.SerializeRounds && !p.outgoingDone() &&
+		!p.cfg.Behavior.SkipEscrow && !p.cfg.Behavior.SkipTransfers {
 		return
 	}
 	spec := p.cfg.Spec
@@ -610,38 +707,27 @@ func (p *Party) checkValidation() {
 		}
 		key := a.Key()
 		if a.Kind == deal.Fungible {
-			// The contract state is cumulative: by validation time the
-			// party has performed its own outgoing transfers, so its
-			// tentative balance should be its deposit plus incoming
-			// minus outgoing. (For pure pass-through positions this is
-			// zero, but coverage of the outgoing transfers — enforced by
-			// the contract — already certifies the incoming arrived.)
-			var obligation uint64
-			for _, ob := range spec.EscrowObligations(p.Addr) {
-				if ob.Asset.Key() == key {
-					obligation = ob.Amount
-				}
-			}
-			expected := int64(obligation) +
-				int64(spec.FungibleIncoming(p.Addr, key)) -
-				int64(spec.FungibleOutgoing(p.Addr, key))
-			if int64(view.OnCommit[p.Addr]) < expected {
+			// The contract state is cumulative, so recover the incoming
+			// total conservatively: the party's tentative balance, minus
+			// its own recorded deposit, plus the outgoing it has locally
+			// confirmed. The chain has applied at least the locally
+			// confirmed outgoing, so this bound trails the true arrived
+			// amount and can never overstate it; once every outgoing
+			// receipt is in it equals the strict post-transfer check.
+			arrived := int64(view.OnCommit[p.Addr]) -
+				int64(view.Deposited[p.Addr]) +
+				int64(p.confirmedOutgoingAmount(key))
+			if arrived < int64(spec.FungibleIncoming(p.Addr, key)) {
 				return
 			}
 		} else {
-			outgoingIDs := make(map[string]bool)
-			for _, t := range spec.Transfers {
-				if t.From == p.Addr && t.Asset.Key() == key && t.Asset.Kind == deal.NonFungible {
-					outgoingIDs[t.Asset.ID] = true
-				}
-			}
 			for _, id := range spec.IncomingTokens(p.Addr, key) {
 				if view.CommitOwner[id] == p.Addr {
 					continue
 				}
-				if outgoingIDs[id] {
-					// Received and passed on; outgoingDone already
-					// confirmed the onward transfer.
+				if p.passedOnToken(key, id) {
+					// Received and passed on; the confirmed onward
+					// transfer certifies the token arrived here first.
 					continue
 				}
 				return
@@ -652,7 +738,109 @@ func (p *Party) checkValidation() {
 	if p.cfg.OnValidated != nil {
 		p.cfg.OnValidated(p.Addr, p.cfg.Sched.Now())
 	}
+	p.maybeVote()
+}
+
+// confirmedOutgoingAmount sums the fungible amounts of the party's
+// outgoing transfers at one escrow whose receipts have confirmed.
+func (p *Party) confirmedOutgoingAmount(key string) uint64 {
+	var total uint64
+	for i, t := range p.cfg.Spec.Transfers {
+		if t.From == p.Addr && t.Asset.Key() == key &&
+			t.Asset.Kind == deal.Fungible && p.confirmed[i] {
+			total += t.Asset.Amount
+		}
+	}
+	return total
+}
+
+// passedOnToken reports whether the party's onward transfer of a
+// non-fungible token at this escrow has confirmed on chain — the
+// contract only applies a transfer by the current tentative owner, so
+// the confirmation proves the token arrived here before moving on.
+func (p *Party) passedOnToken(key, id string) bool {
+	for i, t := range p.cfg.Spec.Transfers {
+		if t.From == p.Addr && t.Asset.Key() == key &&
+			t.Asset.Kind == deal.NonFungible && t.Asset.ID == id && p.confirmed[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeVote casts the party's commit votes once both halves of the
+// pipelined round have landed: the validation verdict and the last
+// outgoing receipt. Whichever lands second triggers the vote. Parties
+// shirking their outgoing duties (SkipEscrow/SkipTransfers deviants)
+// are not gated on duties they will never complete — they may still
+// vote, as before.
+func (p *Party) maybeVote() {
+	if !p.validated {
+		return
+	}
+	b := p.cfg.Behavior
+	if !p.outgoingDone() && !b.SkipEscrow && !b.SkipTransfers {
+		return
+	}
 	p.castVotes()
+}
+
+// scheduleRedrive arms a one-shot, Δ-spaced retry of the party's
+// outgoing duties after a failed receipt. The failure handlers reset
+// the submitted flags so any later deal event retries, but a lone
+// failure on an otherwise quiet chain would never see that event and
+// the deal would idle to its timeout — the re-drive guarantees the
+// retry happens regardless. Horizon-gated (retryLive), so a
+// permanently failing submission cannot loop past the point where the
+// protocol could still use it.
+func (p *Party) scheduleRedrive() {
+	if p.redriveArmed {
+		return
+	}
+	spacing := p.cfg.Spec.Delta
+	if spacing <= 0 {
+		spacing = 10
+	}
+	p.redriveArmed = true
+	p.cfg.Sched.After(spacing, func() {
+		p.redriveArmed = false
+		if !p.active() || p.backedOut() || !p.retryLive() {
+			return
+		}
+		if p.escrowInfo != nil {
+			p.performEscrows(p.escrowInfo)
+		}
+		p.tryTransfers()
+		p.checkValidation()
+		p.maybeVote()
+	})
+}
+
+// retryLive bounds the re-drive: retries stop once the protocol can no
+// longer use their result — the timelock refund horizon has passed, or
+// the CBC deal is decided or the party has rescinded.
+func (p *Party) retryLive() bool {
+	switch p.cfg.Protocol {
+	case ProtoTimelock:
+		return p.cfg.Sched.Now() < p.timelockHorizon()
+	case ProtoCBC:
+		st := p.cbcState
+		if st == nil || !st.started || st.gaveUp || st.votedAbort {
+			return false
+		}
+		d := p.cfg.CBCHooks.CBC.Deal(p.cfg.Spec.ID)
+		return d == nil || d.Status == escrow.StatusActive
+	}
+	return false
+}
+
+// dealDepth memoizes the deal digraph's relay depth (Spec.VoteDepth):
+// the timeout-ladder height this deal actually needs.
+func (p *Party) dealDepth() int {
+	if p.voteDepth == 0 {
+		p.voteDepth = p.cfg.Spec.VoteDepth()
+	}
+	return p.voteDepth
 }
 
 // infoSatisfactory checks the Dinfo and plist recorded at the escrow

@@ -5,7 +5,6 @@ import (
 	"xdeal/internal/deal"
 	"xdeal/internal/escrow"
 	"xdeal/internal/sig"
-	"xdeal/internal/sim"
 	"xdeal/internal/timelock"
 )
 
@@ -14,20 +13,32 @@ import (
 // forwarding. A refund poke is scheduled after the deal's overall timeout
 // so escrowed assets are never locked forever (weak liveness).
 func (p *Party) startTimelock() {
-	info := timelock.Info{T0: p.cfg.Spec.T0, Delta: p.cfg.Spec.Delta}
+	info := timelock.Info{
+		T0:    p.cfg.Spec.T0,
+		Delta: p.cfg.Spec.Delta,
+		Depth: p.dealDepth(),
+	}
 	p.performEscrows(info)
 
 	if !p.cfg.Behavior.SkipRefundPoke {
-		n := sim.Time(len(p.cfg.Spec.Parties))
-		pokeAt := p.cfg.Spec.T0 + (n+1)*p.cfg.Spec.Delta
-		p.cfg.Sched.At(pokeAt, func() { p.pokeRefunds() })
+		// One Δ past the contract refund floor T0 + D·Δ, where D is the
+		// deal digraph's actual relay depth rather than the static
+		// worst-case party count.
+		p.cfg.Sched.At(p.timelockHorizon(), func() { p.pokeRefunds() })
 	}
 }
 
 // timelockInfoOK verifies the Dinfo registered at an escrow contract.
 func (p *Party) timelockInfoOK(info any) bool {
 	ti, ok := info.(timelock.Info)
-	return ok && ti.T0 == p.cfg.Spec.T0 && ti.Delta == p.cfg.Spec.Delta
+	if !ok || ti.T0 != p.cfg.Spec.T0 || ti.Delta != p.cfg.Spec.Delta {
+		return false
+	}
+	// Depth 0 is legacy/unset Dinfo — the contract then falls back to
+	// the looser N-party refund floor, which can only delay refunds,
+	// never misdirect assets. Any explicit depth must match the value
+	// this party derives from the spec itself.
+	return ti.Depth == 0 || ti.Depth == p.dealDepth()
 }
 
 // sendTimelockVotes sends the party's own commit vote to the escrow
@@ -143,18 +154,41 @@ func (p *Party) markAccepted(escrowKey string, voter chain.Addr) {
 }
 
 // pokeRefunds asks the contracts holding the party's deposits to refund
-// them if the deal timed out without committing.
+// them if the deal timed out without committing. It re-arms itself
+// Δ-spaced while any of its own deposits is still in flight: a deal
+// that starts inside an outage window reaches its horizon before its
+// escrows even land, and a single fire-and-forget poke would skip the
+// not-yet-registered contract forever, stranding the deposit (weak
+// liveness must not depend on lucky timing).
 func (p *Party) pokeRefunds() {
 	if !p.active() {
 		return
 	}
+	pending := false
 	for _, ob := range p.cfg.Spec.EscrowObligations(p.Addr) {
+		key := ob.Asset.Key()
 		view, ok := p.escrowView(ob.Asset)
-		if !ok || !view.Exists || view.Status != escrow.StatusActive {
+		if !ok {
+			continue
+		}
+		if !view.Exists {
+			if p.escrowSubmitted[key] && !p.escrowConfirmed[key] {
+				pending = true // own deposit still in flight; check again
+			}
+			continue
+		}
+		if view.Status != escrow.StatusActive {
 			continue
 		}
 		p.submit(ob.Asset, timelock.MethodRefund, LabelAbort,
 			timelock.RefundArgs{Deal: p.cfg.Spec.ID}, nil)
+	}
+	if pending {
+		spacing := p.cfg.Spec.Delta
+		if spacing <= 0 {
+			spacing = 10
+		}
+		p.cfg.Sched.After(spacing, func() { p.pokeRefunds() })
 	}
 }
 

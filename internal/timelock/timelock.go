@@ -47,6 +47,13 @@ const (
 type Info struct {
 	T0    sim.Time
 	Delta sim.Duration
+	// Depth is the timeout-ladder depth the refund floor uses: the deal
+	// digraph's actual relay depth (deal.Spec.VoteDepth) instead of the
+	// static worst case N = len(parties). Zero means unset (legacy
+	// registrations) and falls back to N; values above N clamp to N.
+	// Only the refund floor tightens — the per-vote acceptance rule is
+	// untouched, each forwarding hop still buys one Δ.
+	Depth int
 }
 
 // CommitArgs is the argument to MethodCommit.
@@ -198,9 +205,11 @@ func (m *Manager) handleCommit(env *chain.Env, a CommitArgs) error {
 }
 
 // handleRefund refunds escrowed assets once the overall deal timeout
-// t0 + N·Δ has passed without unanimous votes. Anyone may poke it; in
-// practice compliant parties poke the contracts holding their assets
-// (weak liveness), and watchtowers may poke on behalf of others.
+// t0 + D·Δ has passed without unanimous votes, where D is the
+// registered ladder depth (Info.Depth, defaulting to the worst case
+// N = len(parties) when unset). Anyone may poke it; in practice
+// compliant parties poke the contracts holding their assets (weak
+// liveness), and watchtowers may poke on behalf of others.
 func (m *Manager) handleRefund(env *chain.Env, a RefundArgs) error {
 	st := m.Deal(a.Deal)
 	if st == nil {
@@ -213,7 +222,11 @@ func (m *Manager) handleRefund(env *chain.Env, a RefundArgs) error {
 	if !ok {
 		return ErrBadInfo
 	}
-	deadline := info.T0 + sim.Time(len(st.Parties))*info.Delta
+	depth := len(st.Parties)
+	if info.Depth > 0 && info.Depth < depth {
+		depth = info.Depth
+	}
+	deadline := info.T0 + sim.Time(depth)*info.Delta
 	if env.Now() < deadline {
 		return fmt.Errorf("%w: now=%d deadline=%d", ErrTooEarlyRefund, env.Now(), deadline)
 	}
