@@ -1,0 +1,49 @@
+package xdeal_test
+
+import (
+	"testing"
+
+	"xdeal"
+)
+
+// maxBytesPerDeal is the allocation-budget ceiling the CI gate holds
+// over the block-production hot path, measured through a whole isolated
+// sweep (generation + worlds + aggregation). The PR-10 allocation work
+// (recycled mempool buffers, per-block receipt slabs, string-free
+// digests, preallocated block summaries) lands the sweep at ~310 KB per
+// deal; the ceiling leaves ~55% headroom for population drift while
+// still catching a regression to pre-PR allocation behavior.
+const maxBytesPerDeal = 480_000
+
+// TestAllocationBudgetPerDeal is the CI allocation gate: it meters a
+// fixed-seed sweep with the benchmark machinery and fails if bytes/deal
+// blows the ceiling. Skipped under -short: the race detector's shadow
+// allocations would dominate the measurement in the -race -short lane.
+func TestAllocationBudgetPerDeal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is not meaningful under -short/-race instrumentation")
+	}
+	const deals = 64
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := xdeal.Sweep(xdeal.SweepOptions{
+				Deals:   deals,
+				Workers: 1,
+				Gen: xdeal.GenOptions{
+					Seed: 7, Protocol: "mixed",
+					AdversaryRate: 0.3, DoSRate: 0.15,
+				},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	perDeal := res.AllocedBytesPerOp() / deals
+	t.Logf("allocation budget: %d bytes/deal (ceiling %d)", perDeal, maxBytesPerDeal)
+	if perDeal > maxBytesPerDeal {
+		t.Fatalf("block-production hot path allocates %d bytes/deal, over the %d ceiling; "+
+			"run BenchmarkSweepAllocs with -memprofile to find the regression",
+			perDeal, maxBytesPerDeal)
+	}
+}

@@ -106,6 +106,10 @@ type Options struct {
 	// priced by a deadline-escalating BundleBidder. Requires FeeMarket;
 	// ignored without one.
 	Bundles bool
+	// Shards > 1 executes each block's transactions in parallel across
+	// that many goroutines per chain (see chain.Config.Shards); results
+	// are byte-identical to the serial default of 1.
+	Shards int
 }
 
 // Outage is a window during which a chain produces no blocks.
@@ -153,6 +157,12 @@ type SubstrateConfig struct {
 	// Bundles enables the combinatorial block-space auction on every
 	// fee-market chain created on the substrate (see chain.Config).
 	Bundles bool
+	// Shards > 1 executes each sealed block's transactions in parallel
+	// across that many goroutines on every chain created on the
+	// substrate, partitioned by contract colocation group; reports stay
+	// byte-identical to the serial builder (see chain.Config.Shards).
+	// 0 or 1 keeps the exact legacy single-threaded path.
+	Shards int
 }
 
 // NewSubstrate creates an empty shared world.
@@ -198,6 +208,13 @@ type World struct {
 	opts Options
 	keys map[string]sig.KeyPair
 
+	// outageBeyondDelta is the longest configured DoS window on any of
+	// this deal's chains that exceeds the spec's Δ — the condition under
+	// which the timelock synchrony assumption (§5) no longer holds and a
+	// Property 1 flag is annotated synchrony-broken rather than treated
+	// as a protocol bug. Zero when every outage fits within Δ.
+	outageBeyondDelta sim.Duration
+
 	// Metrics.
 	initialFungible map[chain.Addr]map[string]uint64 // party -> escrow key -> balance
 	initialTokens   map[string]map[string]chain.Addr // escrow key -> token id -> owner
@@ -229,6 +246,7 @@ func Build(spec *deal.Spec, opts Options) (*World, error) {
 		FeeMarket:     opts.FeeMarket,
 		Hedge:         opts.Hedge,
 		Bundles:       opts.Bundles,
+		Shards:        opts.Shards,
 	})
 	return sub.BuildOn(spec, opts)
 }
@@ -273,6 +291,17 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 		outcomeAt:       make(map[string]sim.Time),
 	}
 
+	// Record whether any DoS window on this deal's chains outlasts Δ —
+	// the synchrony-assumption breach checkSafety annotates (§5).
+	for _, a := range spec.Escrows() {
+		if o, ok := s.cfg.Outages[a.Chain]; ok && o.Until-o.From > spec.Delta && o.Until-o.From > w.outageBeyondDelta {
+			w.outageBeyondDelta = o.Until - o.From
+		}
+		if o, ok := opts.Outages[a.Chain]; ok && o.Until-o.From > spec.Delta && o.Until-o.From > w.outageBeyondDelta {
+			w.outageBeyondDelta = o.Until - o.From
+		}
+	}
+
 	// Party keys; public keys known to every chain (§3). The substrate
 	// keyring is shared by reference with every chain, so parties of
 	// later-built deals are visible to earlier-created chains.
@@ -298,6 +327,7 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 				MaxBlockTxs:   s.cfg.MaxBlockTxs,
 				FeeMarket:     s.cfg.FeeMarket,
 				Bundles:       s.cfg.Bundles,
+				Shards:        s.cfg.Shards,
 			}, sched, s.rng)
 			s.Chains[a.Chain] = c
 		}
@@ -355,6 +385,10 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 		if err := c.Deploy(a.Escrow, mgr); err != nil {
 			return nil, err
 		}
+		// The manager message-calls its token contract (deposits,
+		// refunds, claims), so under sharded execution they must share
+		// a shard.
+		c.Colocate(a.Escrow, a.Token)
 	}
 
 	// Hedging contracts: premium-priced sore-loser insurance (see
@@ -388,6 +422,9 @@ func (s *Substrate) BuildOn(spec *deal.Spec, opts Options) (*World, error) {
 			if err := c.Deploy(hedge.AddrFor(a.Escrow), hm); err != nil {
 				return nil, err
 			}
+			// The hedge contract message-calls its escrow manager (and
+			// transitively the token) when settling claims.
+			c.Colocate(hedge.AddrFor(a.Escrow), a.Escrow)
 			s.hedges[key] = hm
 			w.Hedges[key] = hm
 		}

@@ -156,8 +156,17 @@ func (w *World) checkSafety(r *Result) {
 		paid := w.paidSomething(r, p)
 		missed := w.missedIncoming(r, p)
 		if paid && missed {
-			r.SafetyViolations = append(r.SafetyViolations, fmt.Sprintf(
-				"party %s: outgoing assets transferred but incoming assets missing (Property 1)", p))
+			v := fmt.Sprintf(
+				"party %s: outgoing assets transferred but incoming assets missing (Property 1)", p)
+			// A DoS outage longer than Δ breaks the synchrony assumption
+			// timelock safety is proved under (§5): parties can miss an
+			// entire phase window through no protocol fault. Annotate so
+			// the flag is distinguishable from a genuine protocol bug.
+			if w.outageBeyondDelta > 0 {
+				v += fmt.Sprintf(" [synchrony-broken: %d-tick DoS outage exceeds Δ=%d]",
+					w.outageBeyondDelta, spec.Delta)
+			}
+			r.SafetyViolations = append(r.SafetyViolations, v)
 		}
 	}
 	// Cross-check with balances when outcomes are uniform.

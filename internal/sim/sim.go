@@ -16,47 +16,148 @@ type Time int64
 // Duration is a span of virtual time in ticks.
 type Duration = Time
 
-// Event is a scheduled callback.
+// Where an event currently lives. Events move wheel ↔ heap as the clock
+// advances; locNone marks executed or canceled events, making Cancel
+// idempotent and safe after the event has run.
+const (
+	locNone = iota
+	locWheel
+	locFar
+)
+
+// event is a scheduled callback. It is an intrusive node: prev/next link
+// it into a time-wheel slot, hIdx tracks its position in the far-future
+// heap, so cancellation truly unlinks it from either structure in O(1)
+// (wheel) or O(log n) (heap) instead of leaving a dead tombstone.
 type event struct {
 	at   Time
 	seq  uint64 // FIFO tie-break for events at the same instant
 	fn   func()
-	dead bool
+	loc  int8
+	prev *event // wheel slot list links
+	next *event
+	hIdx int // far-future heap index
 }
 
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*event
+// eventQueue is the pluggable priority structure under a Scheduler. Both
+// implementations order events by (at, seq) and hold live events only.
+type eventQueue interface {
+	schedule(e *event)
+	remove(e *event)
+	peek() *event
+	pop() *event
+	advance(now Time)
+	len() int
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+// farHeap implements heap.Interface ordered by (at, seq), maintaining
+// each event's hIdx so heap.Remove can unlink canceled events directly.
+type farHeap []*event
+
+func (q farHeap) Len() int { return len(q) }
+func (q farHeap) Less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
+func (q farHeap) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].hIdx = i
+	q[j].hIdx = j
+}
+func (q *farHeap) Push(x any) {
+	e := x.(*event)
+	e.hIdx = len(*q)
+	*q = append(*q, e)
+}
+func (q *farHeap) Pop() any {
 	old := *q
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
 	*q = old[:n-1]
+	e.hIdx = -1
 	return e
 }
+
+// maybeShrink re-slices the backing array once live events drop below a
+// quarter of its capacity, so a burst (a million-deal spike) doesn't pin
+// peak memory for the rest of the run.
+func (q *farHeap) maybeShrink() {
+	if cap(*q) >= 64 && len(*q) < cap(*q)/4 {
+		ns := make(farHeap, len(*q))
+		copy(ns, *q)
+		*q = ns
+	}
+}
+
+// heapQueue is the legacy single-binary-heap scheduler backend, kept as a
+// differential-testing oracle and benchmark baseline for the time-wheel.
+// Unlike the original it unlinks canceled events immediately (index-tracked
+// heap.Remove) and compacts its backing array after bursts, so Pending()
+// counts live events only and memory tracks the live set.
+type heapQueue struct {
+	h farHeap
+}
+
+func (q *heapQueue) schedule(e *event) {
+	e.loc = locFar
+	heap.Push(&q.h, e)
+}
+
+func (q *heapQueue) remove(e *event) {
+	if e.loc != locFar {
+		return
+	}
+	heap.Remove(&q.h, e.hIdx)
+	e.loc = locNone
+	e.fn = nil
+	q.h.maybeShrink()
+}
+
+func (q *heapQueue) peek() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+func (q *heapQueue) pop() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	e := heap.Pop(&q.h).(*event)
+	e.loc = locNone
+	q.h.maybeShrink()
+	return e
+}
+
+func (q *heapQueue) advance(Time) {}
+
+func (q *heapQueue) len() int { return len(q.h) }
 
 // Scheduler is a deterministic discrete-event scheduler. The zero value is
 // not usable; create one with NewScheduler.
 type Scheduler struct {
 	now   Time
 	seq   uint64
-	queue eventQueue
+	q     eventQueue
 	steps uint64
 }
 
-// NewScheduler returns a scheduler with the clock at zero and no events.
+// NewScheduler returns a scheduler with the clock at zero and no events,
+// backed by the hierarchical time-wheel.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{q: newWheelQueue()}
+}
+
+// NewHeapScheduler returns a scheduler backed by the legacy binary heap.
+// It executes the exact same (at, seq) order as the default time-wheel
+// scheduler; it exists as a differential-testing oracle and a benchmark
+// baseline, not for production use.
+func NewHeapScheduler() *Scheduler {
+	return &Scheduler{q: &heapQueue{}}
 }
 
 // Now returns the current virtual time.
@@ -65,10 +166,12 @@ func (s *Scheduler) Now() Time { return s.now }
 // Steps returns the number of events executed so far.
 func (s *Scheduler) Steps() uint64 { return s.steps }
 
-// Pending returns the number of events waiting to run.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// Pending returns the number of live events waiting to run. Canceled
+// events are unlinked immediately and never counted.
+func (s *Scheduler) Pending() int { return s.q.len() }
 
 // Cancel is returned by At/After and cancels the event if it has not run.
+// Canceling an executed or already-canceled event is a no-op.
 type Cancel func()
 
 // At schedules fn to run at time t. Scheduling in the past (t < Now) runs
@@ -79,8 +182,8 @@ func (s *Scheduler) At(t Time, fn func()) Cancel {
 	}
 	e := &event{at: t, seq: s.seq, fn: fn}
 	s.seq++
-	heap.Push(&s.queue, e)
-	return func() { e.dead = true }
+	s.q.schedule(e)
+	return func() { s.q.remove(e) }
 }
 
 // After schedules fn to run d ticks from now.
@@ -94,17 +197,15 @@ func (s *Scheduler) After(d Duration, fn func()) Cancel {
 // Step executes the next pending event, advancing the clock to its time.
 // It reports whether an event was executed.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*event)
-		if e.dead {
-			continue
-		}
-		s.now = e.at
-		s.steps++
-		e.fn()
-		return true
+	e := s.q.pop()
+	if e == nil {
+		return false
 	}
-	return false
+	s.now = e.at
+	s.q.advance(s.now)
+	s.steps++
+	e.fn()
+	return true
 }
 
 // Run executes events until the queue is empty.
@@ -116,20 +217,16 @@ func (s *Scheduler) Run() {
 // RunUntil executes events with time ≤ t, then advances the clock to t.
 // Events scheduled exactly at t do run.
 func (s *Scheduler) RunUntil(t Time) {
-	for len(s.queue) > 0 {
-		// Peek: queue[0] is the earliest live or dead event.
-		e := s.queue[0]
-		if e.dead {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if e.at > t {
+	for {
+		e := s.q.peek()
+		if e == nil || e.at > t {
 			break
 		}
 		s.Step()
 	}
 	if s.now < t {
 		s.now = t
+		s.q.advance(t)
 	}
 }
 
